@@ -1,0 +1,208 @@
+// Package deepweb's benchmark harness: one benchmark per experiment in
+// the reproduction index (DESIGN.md §3, EXPERIMENTS.md). Each bench
+// runs the corresponding experiment end-to-end and reports its headline
+// quantities as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every number the paper reports. Absolute wall-clock is a
+// property of the in-process simulator, not of the claims; the custom
+// metrics are the experiment outputs.
+package deepweb
+
+import (
+	"testing"
+
+	"deepweb/internal/experiments"
+)
+
+func BenchmarkE1LongTail(b *testing.B) {
+	var rep experiments.E1Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.E1LongTail(experiments.E1Config{NForms: 200000, Queries: 200000, Seed: 1})
+	}
+	b.ReportMetric(rep.Top10kShare, "top10k-share")
+	b.ReportMetric(rep.Top100kShr, "top100k-share")
+	b.ReportMetric(rep.Exponent, "zipf-exponent")
+}
+
+func BenchmarkE2SiteLoad(b *testing.B) {
+	var rep experiments.E2Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E2SiteLoad(7, 1, 150, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.OfflineReqPerSite, "offline-reqs/site")
+	b.ReportMetric(rep.MediatorReqPerQry, "mediator-reqs/query")
+	b.ReportMetric(100*rep.MeanCoverage, "coverage-pct")
+}
+
+func BenchmarkE3Fortuitous(b *testing.B) {
+	var rep experiments.E3Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E3Fortuitous(7, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.SurfacingHits), "surfacing-hits")
+	b.ReportMetric(float64(rep.MediatorHits), "mediator-hits")
+	b.ReportMetric(float64(rep.Queries), "queries")
+}
+
+func BenchmarkE4URLScaling(b *testing.B) {
+	var rep experiments.E4Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E4URLScaling(7, []int{100, 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rep.Points[len(rep.Points)-1]
+	b.ReportMetric(float64(last.URLs), "urls-at-max")
+	b.ReportMetric(last.QuerySpace/float64(last.URLs), "queryspace/urls")
+}
+
+func BenchmarkE5TypedInputs(b *testing.B) {
+	var rep experiments.E5Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E5TypedInputs(7, 10000, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*float64(rep.PlantedTyped)/float64(rep.PopulationForms), "typed-prevalence-pct")
+	b.ReportMetric(100*rep.PopPrecision, "precision-pct")
+	b.ReportMetric(100*rep.SiteRecall(), "site-recall-pct")
+}
+
+func BenchmarkE6Probing(b *testing.B) {
+	var rep experiments.E6Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E6Probing(7, 300, []int{100})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := rep.Points[0]
+	b.ReportMetric(100*p.IterCoverage, "iterative-coverage-pct")
+	b.ReportMetric(100*p.DictCoverage, "dictionary-coverage-pct")
+}
+
+func BenchmarkE7Ranges(b *testing.B) {
+	var rep experiments.E7Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E7Ranges(7, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.NaiveURLs), "naive-urls")
+	b.ReportMetric(float64(rep.AwareURLs), "fused-urls")
+	b.ReportMetric(100*rep.AwareCoverage, "fused-coverage-pct")
+}
+
+func BenchmarkE8DBSelection(b *testing.B) {
+	var rep experiments.E8Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E8DBSelection(7, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rep.GlobalMean, "global-coverage-pct")
+	b.ReportMetric(100*rep.PerDBMean, "percatalog-coverage-pct")
+}
+
+func BenchmarkE9Indexability(b *testing.B) {
+	var rep experiments.E9Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E9Indexability(7, 600)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.OnP95Items, "p95-items-on")
+	b.ReportMetric(rep.OffP95Items, "p95-items-off")
+	b.ReportMetric(float64(rep.OnRejected), "rejected-pages")
+}
+
+func BenchmarkE10Coverage(b *testing.B) {
+	var rep experiments.E10Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E10Coverage(7, []int{300})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := rep.Points[0]
+	b.ReportMetric(100*p.TrueFrac, "true-coverage-pct")
+	b.ReportMetric(100*p.PointEst, "estimated-coverage-pct")
+	b.ReportMetric(100*p.LowerBound, "lower-bound-pct")
+}
+
+func BenchmarkE11Semantics(b *testing.B) {
+	var rep experiments.E11Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E11Semantics(7, 2, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.SynonymHits), "synonyms-recovered")
+	b.ReportMetric(float64(rep.SynonymPairs), "synonyms-planted")
+	b.ReportMetric(100*rep.ValueFillLift, "value-fill-coverage-pct")
+}
+
+func BenchmarkE12GetPost(b *testing.B) {
+	var rep experiments.E12Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E12GetPost(7, 2, 100, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*float64(rep.SurfaceableRecords)/float64(rep.TotalRecords), "surfaceable-pct")
+	b.ReportMetric(100*float64(rep.PostRecords)/float64(rep.TotalRecords), "post-hidden-pct")
+	b.ReportMetric(float64(rep.MediatorPostAnswers), "mediator-post-answers")
+}
+
+func BenchmarkE13Annotations(b *testing.B) {
+	var rep experiments.E13Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E13LostSemantics(7, 700)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.PlainDecoyTop3), "plain-decoy-queries")
+	b.ReportMetric(float64(rep.AnnotDecoyTop3), "annotated-decoy-queries")
+	b.ReportMetric(100*rep.AnnotPrecision3, "annotated-precision3-pct")
+}
+
+func BenchmarkE14Extraction(b *testing.B) {
+	var rep experiments.E14Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.E14Extraction(7, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rep.MeanAccuracy, "mean-field-accuracy-pct")
+	b.ReportMetric(float64(rep.RecordsSeen), "records")
+}

@@ -1,0 +1,83 @@
+// Command deepsearch builds a synthetic deep web, surfaces it into a
+// search index, and serves a minimal search engine over HTTP: an HTML
+// page at / and JSON at /api/search?q=...&k=10. Deep-web documents are
+// served "like any other page" (§3.2); each result notes the form that
+// surfaced it.
+//
+// Usage:
+//
+//	deepsearch [-addr :8080] [-sites N] [-rows N] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"deepweb/internal/core"
+	"deepweb/internal/experiments"
+	"deepweb/internal/htmlx"
+	"deepweb/internal/webgen"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sites := flag.Int("sites", 1, "sites per domain")
+	rows := flag.Int("rows", 300, "rows per site")
+	seed := flag.Int64("seed", 42, "world seed")
+	annotated := flag.Bool("annotated", false, "rank with §5.1 surfacing-time annotations (see E13)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	w, err := experiments.NewWorld(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("indexing surface web…")
+	w.IndexSurfaceWeb()
+	log.Printf("surfacing deep web…")
+	if err := w.SurfaceAll(core.DefaultConfig(), 5); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ready: %d documents indexed", w.Index.Len())
+
+	search := w.Index.Search
+	if *annotated {
+		search = w.Index.AnnotatedSearch
+	}
+
+	http.HandleFunc("/api/search", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		if k <= 0 {
+			k = 10
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(search(q, k))
+	})
+	http.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(rw, `<html><body><h1>deepsearch</h1>
+<form action="/" method="get"><input type="text" name="q" value="%s"><input type="submit" value="Search"></form>`,
+			htmlx.EscapeAttr(q))
+		if q != "" {
+			fmt.Fprint(rw, "<ol>")
+			for _, hit := range search(q, 10) {
+				src := ""
+				if hit.Source != "" {
+					src = " <em>(deep web via " + htmlx.EscapeText(hit.Source) + ")</em>"
+				}
+				fmt.Fprintf(rw, `<li><a href="%s">%s</a> score %.2f%s</li>`,
+					htmlx.EscapeAttr(hit.URL), htmlx.EscapeText(hit.Title), hit.Score, src)
+			}
+			fmt.Fprint(rw, "</ol>")
+		}
+		fmt.Fprint(rw, "</body></html>")
+	})
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}

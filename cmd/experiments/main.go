@@ -1,0 +1,105 @@
+// Command experiments runs every experiment in the reproduction's
+// index (DESIGN.md §3) and prints paper-vs-measured reports. The output
+// of a full run is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"deepweb/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	only := flag.String("only", "", "run only the named experiment (e.g. E7)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	scale := 1
+	if *quick {
+		scale = 4
+	}
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if *only != "" && !strings.EqualFold(*only, name) {
+			return
+		}
+		start := time.Now()
+		rep, err := f()
+		if err != nil {
+			log.Printf("%s FAILED: %v", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String() + fmt.Sprintf("  [%s in %v]", name, time.Since(start).Round(time.Millisecond)))
+	}
+
+	run("E1", func() (fmt.Stringer, error) {
+		cfg := experiments.DefaultE1()
+		cfg.Seed = *seed
+		cfg.Queries /= scale
+		return experiments.E1LongTail(cfg), nil
+	})
+	run("E2", func() (fmt.Stringer, error) {
+		return wrap(experiments.E2SiteLoad(*seed, 2, 600/scale, 200/scale))
+	})
+	run("E3", func() (fmt.Stringer, error) {
+		return wrap(experiments.E3Fortuitous(*seed, 1600/scale))
+	})
+	run("E4", func() (fmt.Stringer, error) {
+		sizes := []int{50, 200, 800, 3200}
+		if *quick {
+			sizes = []int{50, 200, 800}
+		}
+		return wrap(experiments.E4URLScaling(*seed, sizes))
+	})
+	run("E5", func() (fmt.Stringer, error) {
+		return wrap(experiments.E5TypedInputs(*seed, 20000/scale, 400/scale))
+	})
+	run("E6", func() (fmt.Stringer, error) {
+		budgets := []int{20, 50, 100, 200, 400}
+		if *quick {
+			budgets = []int{20, 80, 200}
+		}
+		return wrap(experiments.E6Probing(*seed, 1000/scale, budgets))
+	})
+	run("E7", func() (fmt.Stringer, error) {
+		return wrap(experiments.E7Ranges(*seed, 800/scale))
+	})
+	run("E8", func() (fmt.Stringer, error) {
+		return wrap(experiments.E8DBSelection(*seed, 1200/scale))
+	})
+	run("E9", func() (fmt.Stringer, error) {
+		return wrap(experiments.E9Indexability(*seed, 1600/scale))
+	})
+	run("E10", func() (fmt.Stringer, error) {
+		sizes := []int{100, 400, 1600}
+		if *quick {
+			sizes = []int{100, 400}
+		}
+		return wrap(experiments.E10Coverage(*seed, sizes))
+	})
+	run("E11", func() (fmt.Stringer, error) {
+		return wrap(experiments.E11Semantics(*seed, 2, 240/scale))
+	})
+	run("E12", func() (fmt.Stringer, error) {
+		return wrap(experiments.E12GetPost(*seed, 2, 320/scale, 3))
+	})
+	run("E13", func() (fmt.Stringer, error) {
+		return wrap(experiments.E13LostSemantics(*seed, 2000/scale))
+	})
+	run("E14", func() (fmt.Stringer, error) {
+		return wrap(experiments.E14Extraction(*seed, 1200/scale))
+	})
+}
+
+// wrap adapts (report, error) pairs to the runner's signature.
+func wrap[T fmt.Stringer](rep T, err error) (fmt.Stringer, error) { return rep, err }

@@ -1,0 +1,53 @@
+// Command semserver builds the §6 semantic server: it crawls a
+// synthetic web (following links into record pages), aggregates HTML
+// tables into an ACSDb and a value store, and serves the four semantic
+// services over HTTP JSON:
+//
+//	GET /synonyms?attr=make
+//	GET /autocomplete?attrs=make,model
+//	GET /values?attr=city
+//	GET /properties?entity=seattle
+//
+// Usage:
+//
+//	semserver [-addr :8081] [-sites N] [-rows N] [-seed N]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"deepweb/internal/semserv"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webtables"
+	"deepweb/internal/webx"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	sites := flag.Int("sites", 2, "sites per domain")
+	rows := flag.Int("rows", 150, "rows per site")
+	seed := flag.Int64("seed", 42, "world seed")
+	flag.Parse()
+	log.SetFlags(0)
+
+	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("crawling…")
+	c := &webx.Crawler{Fetcher: webx.NewFetcher(web), FollowQuery: true, MaxPages: 10000}
+	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	raw := webtables.ExtractFromPages(pages)
+	good := webtables.QualityFilter(raw)
+	acs := webtables.BuildACSDb(good)
+	vals := webtables.NewValueStore()
+	vals.AddTables(good)
+	log.Printf("aggregated %d pages → %d tables (%d relational), %d schemas, %d attributes",
+		len(pages), len(raw), len(good), acs.Schemas, len(acs.Freq))
+
+	srv := semserv.New(acs, vals, good)
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,66 @@
+// Semantic services (§6): crawl a synthetic web, aggregate its HTML
+// tables, and exercise the four services — synonyms, schema
+// auto-complete, attribute values, entity properties — over HTTP.
+//
+//	go run ./examples/semantics
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+
+	"deepweb/internal/semserv"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webtables"
+	"deepweb/internal/webx"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: 42, SitesPerDom: 2, RowsPerSite: 120})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &webx.Crawler{Fetcher: webx.NewFetcher(web), FollowQuery: true, MaxPages: 5000}
+	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	raw := webtables.ExtractFromPages(pages)
+	good := webtables.QualityFilter(raw)
+	acs := webtables.BuildACSDb(good)
+	vals := webtables.NewValueStore()
+	vals.AddTables(good)
+	fmt.Printf("crawled %d pages → %d relational tables, %d distinct attributes\n\n",
+		len(pages), len(good), len(acs.Freq))
+
+	// Serve the semantic server and query it like a client would.
+	srv := httptest.NewServer(semserv.New(acs, vals, good))
+	defer srv.Close()
+
+	show := func(path string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var pretty any
+		json.Unmarshal(body, &pretty)
+		out, _ := json.Marshal(pretty)
+		fmt.Printf("GET %-42s → %s\n", path, truncate(string(out), 100))
+	}
+
+	show("/synonyms?attr=make&k=3")        // → "maker": mined from alias sites
+	show("/autocomplete?attrs=make&k=4")   // → model, price, year…
+	show("/values?attr=city&k=5")          // → city vocabulary for form filling
+	show("/properties?entity=seattle&k=5") // → attributes tables give the entity
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

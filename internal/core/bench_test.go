@@ -1,0 +1,83 @@
+package core
+
+import (
+	"net/url"
+	"testing"
+
+	"deepweb/internal/form"
+	"deepweb/internal/index"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webx"
+)
+
+func BenchmarkSurfaceSite(b *testing.B) {
+	web := webgen.NewWeb()
+	site, err := webgen.BuildSite("usedcars", 0, 42, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	web.AddSite(site)
+	fetch := webx.NewFetcher(web)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var urls int
+	for i := 0; i < b.N; i++ {
+		s := NewSurfacer(fetch, DefaultConfig())
+		res, err := s.SurfaceSite(site.HomeURL())
+		if err != nil {
+			b.Fatal(err)
+		}
+		urls = len(res.URLs)
+	}
+	b.ReportMetric(float64(urls), "urls")
+}
+
+func BenchmarkIngestURLs(b *testing.B) {
+	web := webgen.NewWeb()
+	site, err := webgen.BuildSite("library", 0, 42, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	web.AddSite(site)
+	fetch := webx.NewFetcher(web)
+	s := NewSurfacer(fetch, DefaultConfig())
+	res, err := s.SurfaceSite(site.HomeURL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := index.New()
+		IngestURLs(fetch, ix, "f", res.URLs, 2)
+	}
+}
+
+func BenchmarkDetectRanges(b *testing.B) {
+	web := webgen.NewWeb()
+	site, _ := webgen.BuildSite("usedcars", 0, 42, 50)
+	web.AddSite(site)
+	fetch := webx.NewFetcher(web)
+	page, err := fetch.Get(site.FormURL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := formOfBench(page)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectRanges(f)
+	}
+}
+
+// formOfBench parses the first form of a fetched page.
+func formOfBench(p *webx.Page) (*form.Form, error) {
+	base, err := url.Parse(p.URL)
+	if err != nil {
+		return nil, err
+	}
+	return form.FromDecl(base, p.Forms()[0], 0)
+}

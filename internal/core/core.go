@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the
+// deep-web surfacing engine (Madhavan et al., CIDR 2009 §3.2–§5;
+// algorithms per PVLDB 2008). Given nothing but the URL of a page with
+// an HTML form, it
+//
+//  1. classifies each text input as a search box, a typed box (zip code,
+//     city, price, date — §4.1) or a plain categorical box;
+//  2. finds candidate values per input: select-menu options, typed-value
+//     vocabularies, seed keywords from the site's already-indexed pages
+//     refined by iterative probing (§4.1);
+//  3. detects correlated inputs — range pairs and database-selection
+//     pairs (§4.2) — and fuses each into a single query dimension;
+//  4. searches for informative query templates by probing samples of
+//     submissions and fingerprinting result pages (the informativeness
+//     test / incremental search of PVLDB'08);
+//  5. emits the submission URLs of informative templates, subject to an
+//     indexability criterion (§5.2: neither too many nor too few results
+//     per surfaced page) and a URL budget.
+//
+// Every step that the paper ablates is behind a Config switch so the
+// benchmarks can run both arms.
+package core
+
+// Config tunes the surfacing engine. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// MaxValuesPerInput caps candidate values kept per input dimension.
+	MaxValuesPerInput int
+	// MaxTemplateSize caps how many dimensions a query template binds.
+	// The paper's system found little value beyond 3; 2 is the default
+	// because our forms are small.
+	MaxTemplateSize int
+	// SampleSize is how many submissions are probed to evaluate one
+	// template's informativeness.
+	SampleSize int
+	// InformativenessThreshold is the minimum fraction of distinct
+	// result-page signatures among sampled submissions for a template
+	// to count as informative.
+	InformativenessThreshold float64
+	// ProbeBudget caps total HTTP fetches spent analyzing one form.
+	ProbeBudget int
+	// URLBudget caps URLs emitted per form.
+	URLBudget int
+	// SeedKeywords is how many seed keywords are drawn from the site's
+	// indexed pages to start iterative probing.
+	SeedKeywords int
+	// ProbeRounds is the number of iterative-probing refinement rounds
+	// for search boxes.
+	ProbeRounds int
+
+	// TypedInputs enables typed-box recognition (§4.1). Off, every text
+	// box is treated as a search/categorical box.
+	TypedInputs bool
+	// RangeAware enables range-pair fusion (§4.2). Off, min/max inputs
+	// are surfaced independently — the paper's 120-vs-10-URL example.
+	RangeAware bool
+	// PerDBKeywords enables database-selection handling (§4.2): per-
+	// select-option keyword sets for the paired search box.
+	PerDBKeywords bool
+	// StrictExtension requires a template extension to produce *more*
+	// distinct result pages than its parent before it is kept (the
+	// PVLDB'08 incremental-search rule). Off, an extension is kept
+	// whenever it passes the bare informativeness threshold — which is
+	// how a naive surfacer ends up emitting the min×max cross product
+	// (§4.2's 120-URL example).
+	StrictExtension bool
+	// Indexability enables the §5.2 emission filter: templates whose
+	// sampled pages average more than TargetResultsMax items or yield
+	// almost only empty pages are not emitted.
+	Indexability bool
+	// TargetResultsMin/Max bound acceptable results-per-page when
+	// Indexability is on.
+	TargetResultsMin int
+	TargetResultsMax int
+}
+
+// DefaultConfig returns the configuration used by the headline
+// experiments: everything on, budgets sized for laptop-scale sites.
+func DefaultConfig() Config {
+	return Config{
+		MaxValuesPerInput:        25,
+		MaxTemplateSize:          2,
+		SampleSize:               10,
+		InformativenessThreshold: 0.2,
+		ProbeBudget:              600,
+		URLBudget:                3000,
+		SeedKeywords:             12,
+		ProbeRounds:              3,
+		TypedInputs:              true,
+		RangeAware:               true,
+		PerDBKeywords:            true,
+		StrictExtension:          true,
+		Indexability:             true,
+		TargetResultsMin:         1,
+		TargetResultsMax:         100,
+	}
+}
+
+// NaiveConfig returns the ablation arm: no semantics at all — no typed
+// inputs, no correlations, no indexability filter. It is the strawman
+// the paper's §4 examples are measured against.
+func NaiveConfig() Config {
+	c := DefaultConfig()
+	c.TypedInputs = false
+	c.RangeAware = false
+	c.PerDBKeywords = false
+	c.StrictExtension = false
+	c.Indexability = false
+	return c
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sort"
+
+	"deepweb/internal/form"
+	"deepweb/internal/htmlx"
+	"deepweb/internal/textutil"
+	"deepweb/internal/webx"
+)
+
+// observation is what one probe of a form teaches the surfacer: a
+// content fingerprint of the result page and a structural estimate of
+// how many result items it showed. Items are counted as list entries —
+// a site-agnostic proxy; the engine never parses site-specific markup.
+type observation struct {
+	sig   textutil.Signature
+	items int
+	text  string
+}
+
+// prober issues form submissions against a fetch budget. All analysis
+// traffic — the "off-line analysis" load of §3.2 — flows through here,
+// so experiments can meter it.
+type prober struct {
+	fetch  *webx.Fetcher
+	budget int
+	used   int
+}
+
+// errBudget is reported via ok=false: the probe budget is exhausted and
+// the caller must settle for what it has learned so far.
+func (p *prober) probe(f *form.Form, b form.Binding) (observation, bool) {
+	if p.used >= p.budget {
+		return observation{}, false
+	}
+	u := f.SubmitURL(b)
+	if u == "" {
+		return observation{}, false // POST form: not probeable by URL
+	}
+	p.used++
+	page, err := p.fetch.Get(u)
+	if err != nil || page.Status != 200 {
+		return observation{}, false
+	}
+	return observe(page), true
+}
+
+// observe fingerprints a fetched page.
+func observe(page *webx.Page) observation {
+	text := page.Text()
+	return observation{
+		sig:   textutil.SignatureOf(text),
+		items: countItems(page),
+		text:  text,
+	}
+}
+
+// countItems estimates results-per-page structurally: the number of
+// list items (or table rows, whichever dominates) on the page. Result
+// listings overwhelmingly render as repeated list/row elements; the
+// count only needs to be comparable across pages of the same site.
+func countItems(page *webx.Page) int {
+	li := len(htmlx.Find(page.Doc, "li"))
+	tr := len(htmlx.Find(page.Doc, "tr"))
+	if tr > li {
+		return tr
+	}
+	return li
+}
+
+// SeedKeywords ranks the content words of the site's already-indexed
+// pages (homepage and form page — what a crawler has before surfacing)
+// by frequency and returns the top n as probe seeds (§4.1: "candidate
+// seed keywords by selecting the words that are most characteristic of
+// the already indexed web pages from the form site").
+func SeedKeywords(pageTexts []string, n int) []string {
+	tf := textutil.TermVector{}
+	for _, t := range pageTexts {
+		for _, tok := range textutil.ContentTokens(t) {
+			tf[tok]++
+		}
+	}
+	top := tf.TopTerms(n)
+	out := make([]string, len(top))
+	for i, w := range top {
+		out[i] = w.Term
+	}
+	return out
+}
+
+// keywordInfo records a productive probe keyword.
+type keywordInfo struct {
+	kw    string
+	sig   textutil.Signature
+	items int
+}
+
+// ProbeKeywords runs the §4.1 iterative-probing loop standalone against
+// one text input and returns the selected keywords. It exists for
+// experiments that study probing in isolation (E6); SurfaceSite uses
+// the same loop internally.
+func ProbeKeywords(f *webx.Fetcher, fm *form.Form, input string, seeds []string, cfg Config) []string {
+	s := NewSurfacer(f, cfg)
+	s.prober = &prober{fetch: f, budget: cfg.ProbeBudget}
+	kws := s.probeSearchBox(fm, input, form.Binding{}, seeds)
+	out := make([]string, len(kws))
+	for i, k := range kws {
+		out[i] = k.kw
+	}
+	return out
+}
+
+// probeSearchBox runs the iterative probing loop of §4.1 for one text
+// input: probe seed keywords, harvest new candidate words from result
+// pages, iterate, then select a diverse subset (keywords whose result
+// pages are mutually distinct).
+//
+// fixed holds other inputs constant during probing — the hook the
+// database-selection handler uses to build per-catalog keyword sets.
+func (s *Surfacer) probeSearchBox(f *form.Form, inputName string, fixed form.Binding, seeds []string) []keywordInfo {
+	var (
+		productive []keywordInfo
+		tried      = map[string]bool{}
+		pool       = append([]string(nil), seeds...)
+	)
+	perRound := s.Cfg.MaxValuesPerInput
+	for round := 0; round <= s.Cfg.ProbeRounds && len(pool) > 0; round++ {
+		harvest := textutil.TermVector{}
+		probed := 0
+		for _, kw := range pool {
+			if tried[kw] || probed >= perRound {
+				continue
+			}
+			tried[kw] = true
+			probed++
+			b := fixed.Clone()
+			b[inputName] = kw
+			obs, ok := s.prober.probe(f, b)
+			if !ok {
+				break
+			}
+			if obs.items > 0 {
+				productive = append(productive, keywordInfo{kw: kw, sig: obs.sig, items: obs.items})
+				for _, tok := range textutil.ContentTokens(obs.text) {
+					if !tried[tok] {
+						harvest[tok]++
+					}
+				}
+			}
+		}
+		next := harvest.TopTerms(perRound)
+		pool = pool[:0]
+		for _, w := range next {
+			pool = append(pool, w.Term)
+		}
+	}
+	return selectDiverse(productive, s.Cfg.MaxValuesPerInput)
+}
+
+// selectDiverse keeps up to k keywords preferring ones that surface
+// result pages not already covered — the paper's "selecting the ones
+// that ensure diversity of result pages".
+func selectDiverse(kws []keywordInfo, k int) []keywordInfo {
+	// Stable order: by items descending, then keyword, so selection is
+	// deterministic.
+	sorted := append([]keywordInfo(nil), kws...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].items != sorted[j].items {
+			return sorted[i].items > sorted[j].items
+		}
+		return sorted[i].kw < sorted[j].kw
+	})
+	seen := map[textutil.Signature]bool{}
+	var out, dup []keywordInfo
+	for _, kw := range sorted {
+		if !seen[kw.sig] {
+			seen[kw.sig] = true
+			out = append(out, kw)
+		} else {
+			dup = append(dup, kw)
+		}
+	}
+	// Fill remaining slots with duplicates-by-signature if there is
+	// room; they still contribute result items.
+	for _, kw := range dup {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, kw)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"deepweb/internal/reldb"
+)
+
+// Generators return fully-populated tables for each vertical the paper's
+// examples mention: used cars, real estate, jobs (§3.1 classifieds),
+// store locators and government portals (§3.2), library catalogs and
+// media catalogs (§4), and faculty biographies (the fortuitous-query
+// example). Value frequencies are Zipf-skewed: real classified data is
+// head-heavy, which is exactly what makes informativeness testing and
+// keyword probing non-trivial.
+
+// zipfIdx draws a Zipf-skewed index in [0,n) from r with mild skew.
+func zipfIdx(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(r, 1.3, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// noteText builds a short descriptive phrase from NoteWords.
+func noteText(r *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = NoteWords[r.Intn(len(NoteWords))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// UsedCars generates a used-car classified table: the running example of
+// the paper (ranges over price/mileage/year, make→model correlation).
+//
+// Columns: make, model (string); year, price, mileage, zip (int);
+// city (string); notes (text).
+func UsedCars(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("usedcars", []reldb.Column{
+		{Name: "make", Kind: reldb.KindString},
+		{Name: "model", Kind: reldb.KindString},
+		{Name: "year", Kind: reldb.KindInt},
+		{Name: "price", Kind: reldb.KindInt},
+		{Name: "mileage", Kind: reldb.KindInt},
+		{Name: "city", Kind: reldb.KindString},
+		{Name: "zip", Kind: reldb.KindInt},
+		{Name: "notes", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		mk := zipfIdx(r, len(CarMakes))
+		models := CarModels[mk]
+		city := zipfIdx(r, len(USCities))
+		note := noteText(r, 3)
+		// ~15% of listings name a *different* make and model in free
+		// text ("better mileage than the ford focus") — the §5.1
+		// lost-semantics decoys that confuse a plain IR index (E13).
+		if r.Intn(7) == 0 {
+			omk := (mk + 1 + r.Intn(len(CarMakes)-1)) % len(CarMakes)
+			om := CarModels[omk]
+			note += " better mileage than the " + CarMakes[omk] + " " + om[r.Intn(len(om))]
+		}
+		t.MustInsert(reldb.Row{
+			reldb.S(CarMakes[mk]),
+			reldb.S(models[r.Intn(len(models))]),
+			reldb.I(int64(1990 + r.Intn(20))),
+			reldb.I(int64(500 + 250*r.Intn(98))), // $500..$25,000 in $250 steps
+			reldb.I(int64(1000 * (5 + r.Intn(195)))),
+			reldb.S(USCities[city]),
+			reldb.I(int64(ZipForCity(city, i))),
+			reldb.T(note),
+		})
+	}
+	return t
+}
+
+// RealEstate generates property listings.
+//
+// Columns: city, state, type (string); zip, bedrooms, price (int);
+// notes (text).
+func RealEstate(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	types := []string{"house", "condo", "apartment", "townhouse", "loft"}
+	t := reldb.MustNewTable("realestate", []reldb.Column{
+		{Name: "city", Kind: reldb.KindString},
+		{Name: "state", Kind: reldb.KindString},
+		{Name: "type", Kind: reldb.KindString},
+		{Name: "zip", Kind: reldb.KindInt},
+		{Name: "bedrooms", Kind: reldb.KindInt},
+		{Name: "price", Kind: reldb.KindInt},
+		{Name: "notes", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		city := zipfIdx(r, len(USCities))
+		t.MustInsert(reldb.Row{
+			reldb.S(USCities[city]),
+			reldb.S(USStates[city]),
+			reldb.S(types[zipfIdx(r, len(types))]),
+			reldb.I(int64(ZipForCity(city, i))),
+			reldb.I(int64(1 + r.Intn(6))),
+			reldb.I(int64(50000 + 5000*r.Intn(191))), // $50k..$1M
+			reldb.T(noteText(r, 4)),
+		})
+	}
+	return t
+}
+
+// Jobs generates job listings.
+//
+// Columns: title, company, city, state (string); salary (int);
+// description (text).
+func Jobs(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("jobs", []reldb.Column{
+		{Name: "title", Kind: reldb.KindString},
+		{Name: "company", Kind: reldb.KindString},
+		{Name: "city", Kind: reldb.KindString},
+		{Name: "state", Kind: reldb.KindString},
+		{Name: "salary", Kind: reldb.KindInt},
+		{Name: "description", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		city := zipfIdx(r, len(USCities))
+		t.MustInsert(reldb.Row{
+			reldb.S(JobTitles[zipfIdx(r, len(JobTitles))]),
+			reldb.S(Companies[zipfIdx(r, len(Companies))]),
+			reldb.S(USCities[city]),
+			reldb.S(USStates[city]),
+			reldb.I(int64(25000 + 1000*r.Intn(150))),
+			reldb.T(noteText(r, 4)),
+		})
+	}
+	return t
+}
+
+// Library generates a book catalog: a large-value-space domain whose
+// titles and authors are reachable only via text-box probing (§4.1).
+//
+// Columns: title, author, subject (string); year (int); summary (text).
+func Library(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("library", []reldb.Column{
+		{Name: "title", Kind: reldb.KindString},
+		{Name: "author", Kind: reldb.KindString},
+		{Name: "subject", Kind: reldb.KindString},
+		{Name: "year", Kind: reldb.KindInt},
+		{Name: "summary", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		subj := zipfIdx(r, len(BookSubjects))
+		title := fmt.Sprintf("the %s of %s",
+			NoteWords[r.Intn(len(NoteWords))], BookSubjects[subj])
+		author := FirstNames[r.Intn(len(FirstNames))] + " " + LastNames[r.Intn(len(LastNames))]
+		t.MustInsert(reldb.Row{
+			reldb.S(title),
+			reldb.S(author),
+			reldb.S(BookSubjects[subj]),
+			reldb.I(int64(1900 + r.Intn(109))),
+			reldb.T(noteText(r, 5)),
+		})
+	}
+	return t
+}
+
+// GovDocs generates a government/NGO document portal — the paper's
+// example of long-tail content that surfacing helps most (§3.2).
+//
+// Columns: agency, topic (string); year (int); title, body (text).
+func GovDocs(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("govdocs", []reldb.Column{
+		{Name: "agency", Kind: reldb.KindString},
+		{Name: "topic", Kind: reldb.KindString},
+		{Name: "year", Kind: reldb.KindInt},
+		{Name: "title", Kind: reldb.KindText},
+		{Name: "body", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		topic := GovTopics[zipfIdx(r, len(GovTopics))]
+		t.MustInsert(reldb.Row{
+			reldb.S(Agencies[zipfIdx(r, len(Agencies))]),
+			reldb.S(topic),
+			reldb.I(int64(1995 + r.Intn(14))),
+			reldb.T(fmt.Sprintf("notice %04d regarding %s", i, topic)),
+			reldb.T(noteText(r, 6)),
+		})
+	}
+	return t
+}
+
+// MediaCatalog generates the four-catalog site of the database-selection
+// experiment (§4.2): one table, category column selecting the catalog.
+//
+// Columns: category, title (string); year (int); description (text).
+func MediaCatalog(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("media", []reldb.Column{
+		{Name: "category", Kind: reldb.KindString},
+		{Name: "title", Kind: reldb.KindString},
+		{Name: "year", Kind: reldb.KindInt},
+		{Name: "description", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		// Catalog sizes are Zipf-skewed: the dominant catalog's
+		// vocabulary crowds a global keyword budget, which is what
+		// makes per-catalog keyword sets matter (§4.2, E8).
+		cat := zipfIdx(r, len(MediaCategories))
+		titles := MediaTitles[cat]
+		title := titles[zipfIdx(r, len(titles))]
+		// Description vocabulary is category-specific on purpose: the
+		// §4.2 claim is that good probe keywords differ per catalog
+		// ("microsoft" works for software, not movies). Each catalog
+		// draws adjectives from its own disjoint slice of NoteWords.
+		per := len(NoteWords) / len(MediaCategories)
+		adj1 := NoteWords[cat*per+r.Intn(per)]
+		adj2 := NoteWords[cat*per+r.Intn(per)]
+		t.MustInsert(reldb.Row{
+			reldb.S(MediaCategories[cat]),
+			reldb.S(title),
+			reldb.I(int64(1985 + r.Intn(24))),
+			reldb.T(adj1 + " " + adj2),
+		})
+	}
+	return t
+}
+
+// Faculty generates university faculty biographies. A small fraction of
+// bios mention a major award by name, reproducing §3.2's fortuitous
+// query: the award is findable by keyword search over surfaced bio
+// pages, but no mediated schema attribute exposes it.
+//
+// Columns: name, department (string); bio (text).
+func Faculty(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("faculty", []reldb.Column{
+		{Name: "name", Kind: reldb.KindString},
+		{Name: "department", Kind: reldb.KindString},
+		{Name: "bio", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		name := FirstNames[r.Intn(len(FirstNames))] + " " + LastNames[r.Intn(len(LastNames))]
+		dept := Departments[r.Intn(len(Departments))]
+		bio := fmt.Sprintf("professor of %s, research in %s", dept, noteText(r, 3))
+		if r.Intn(10) == 0 { // ~10% of faculty carry a named award
+			bio += ", recipient of the " + Awards[r.Intn(len(Awards))]
+		}
+		t.MustInsert(reldb.Row{reldb.S(name), reldb.S(dept), reldb.T(bio)})
+	}
+	return t
+}
+
+// Stores generates a store-locator table: the archetypal zip-code-typed
+// form of §4.1 ("retrieves store locations by zip-code").
+//
+// Columns: name, city, state (string); zip (int); hours (text).
+func Stores(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("stores", []reldb.Column{
+		{Name: "name", Kind: reldb.KindString},
+		{Name: "city", Kind: reldb.KindString},
+		{Name: "state", Kind: reldb.KindString},
+		{Name: "zip", Kind: reldb.KindInt},
+		{Name: "hours", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		city := r.Intn(len(USCities))
+		t.MustInsert(reldb.Row{
+			reldb.S(fmt.Sprintf("%s outlet %d", Companies[zipfIdx(r, len(Companies))], i%7)),
+			reldb.S(USCities[city]),
+			reldb.S(USStates[city]),
+			reldb.I(int64(ZipForCity(city, i))),
+			reldb.T("open 9am to 9pm weekdays"),
+		})
+	}
+	return t
+}
+
+// Recipes generates a recipe site keyed by cuisine (small select-menu
+// domain) and dish keyword.
+//
+// Columns: dish, cuisine (string); minutes (int); ingredients (text).
+func Recipes(seed int64, n int) *reldb.Table {
+	r := rand.New(rand.NewSource(seed))
+	t := reldb.MustNewTable("recipes", []reldb.Column{
+		{Name: "dish", Kind: reldb.KindString},
+		{Name: "cuisine", Kind: reldb.KindString},
+		{Name: "minutes", Kind: reldb.KindInt},
+		{Name: "ingredients", Kind: reldb.KindText},
+	})
+	for i := 0; i < n; i++ {
+		d := zipfIdx(r, len(Dishes))
+		t.MustInsert(reldb.Row{
+			reldb.S(Dishes[d]),
+			reldb.S(Cuisines[d%len(Cuisines)]),
+			reldb.I(int64(10 + 5*r.Intn(23))),
+			reldb.T(noteText(r, 4)),
+		})
+	}
+	return t
+}

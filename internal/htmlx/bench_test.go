@@ -1,0 +1,63 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchPage() string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>bench</title></head><body>`)
+	b.WriteString(`<form action="/results" method="get">`)
+	b.WriteString(`<select name="make">`)
+	for i := 0; i < 20; i++ {
+		b.WriteString(`<option value="v`)
+		b.WriteByte(byte('a' + i%26))
+		b.WriteString(`">opt</option>`)
+	}
+	b.WriteString(`</select><input type="text" name="q"></form><ul>`)
+	for i := 0; i < 100; i++ {
+		b.WriteString(`<li><a href="/record?id=`)
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString(`">ford focus 1993 2500 98000 seattle 98101 clean title</a></li>`)
+	}
+	b.WriteString(`</ul><table>`)
+	for i := 0; i < 50; i++ {
+		b.WriteString(`<tr><td>ford</td><td>focus</td><td>1993</td></tr>`)
+	}
+	b.WriteString(`</table></body></html>`)
+	return b.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	page := benchPage()
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(page)
+	}
+}
+
+func BenchmarkVisibleText(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		VisibleText(doc)
+	}
+}
+
+func BenchmarkExtractForms(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractForms(doc)
+	}
+}
+
+func BenchmarkExtractTables(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractTables(doc)
+	}
+}

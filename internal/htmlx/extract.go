@@ -1,0 +1,169 @@
+package htmlx
+
+import (
+	"net/url"
+	"strings"
+)
+
+// FormDecl is a declaratively-extracted HTML form, before any semantic
+// interpretation (that happens in internal/form).
+type FormDecl struct {
+	Action string // as written in the markup
+	Method string // "get" or "post" (lower-cased; default "get")
+	ID     string
+	Inputs []InputDecl
+}
+
+// InputDecl is one form control.
+type InputDecl struct {
+	Kind    string // "text", "select", "hidden", "submit", "checkbox", "radio", "textarea", "number"
+	Name    string
+	Value   string       // default value
+	Options []OptionDecl // for selects
+	Label   string       // nearest preceding/enclosing label text, if any
+}
+
+// OptionDecl is one <option> of a select menu.
+type OptionDecl struct {
+	Value    string
+	Label    string
+	Selected bool
+}
+
+// ExtractForms returns every form declared in the document.
+func ExtractForms(doc *Node) []FormDecl {
+	var forms []FormDecl
+	for _, f := range Find(doc, "form") {
+		fd := FormDecl{
+			Action: f.Attr("action"),
+			Method: strings.ToLower(f.Attr("method")),
+			ID:     f.Attr("id"),
+		}
+		if fd.Method == "" {
+			fd.Method = "get"
+		}
+		labels := labelTexts(f)
+		Walk(f, func(n *Node) bool {
+			if n.Type != NodeElement {
+				return true
+			}
+			switch n.Tag {
+			case "input":
+				kind := strings.ToLower(n.Attr("type"))
+				if kind == "" {
+					kind = "text"
+				}
+				fd.Inputs = append(fd.Inputs, InputDecl{
+					Kind:  kind,
+					Name:  n.Attr("name"),
+					Value: n.Attr("value"),
+					Label: labels[n.Attr("name")],
+				})
+			case "textarea":
+				fd.Inputs = append(fd.Inputs, InputDecl{
+					Kind:  "textarea",
+					Name:  n.Attr("name"),
+					Value: strings.TrimSpace(VisibleText(n)),
+					Label: labels[n.Attr("name")],
+				})
+			case "select":
+				in := InputDecl{Kind: "select", Name: n.Attr("name"), Label: labels[n.Attr("name")]}
+				for _, opt := range Find(n, "option") {
+					val, hasVal := opt.Attrs["value"]
+					lbl := strings.TrimSpace(VisibleText(opt))
+					if !hasVal {
+						val = lbl // per HTML, a valueless option submits its label
+					}
+					_, selected := opt.Attrs["selected"]
+					in.Options = append(in.Options, OptionDecl{Value: val, Label: lbl, Selected: selected})
+				}
+				fd.Inputs = append(fd.Inputs, in)
+			}
+			return true
+		})
+		forms = append(forms, fd)
+	}
+	return forms
+}
+
+// labelTexts maps input names to label text for <label for="..."> inside
+// the form. The generator names ids after input names, which is also the
+// dominant real-world convention.
+func labelTexts(form *Node) map[string]string {
+	m := map[string]string{}
+	for _, l := range Find(form, "label") {
+		if target := l.Attr("for"); target != "" {
+			m[target] = strings.TrimSpace(VisibleText(l))
+		}
+	}
+	return m
+}
+
+// ExtractLinks returns the absolute URLs of every <a href> in the
+// document, resolved against base. Fragment-only, mailto and javascript
+// links are dropped; order is preserved and duplicates are kept (the
+// crawler dedupes).
+func ExtractLinks(doc *Node, base *url.URL) []string {
+	var out []string
+	for _, a := range Find(doc, "a") {
+		href := strings.TrimSpace(a.Attr("href"))
+		if href == "" || strings.HasPrefix(href, "#") ||
+			strings.HasPrefix(href, "mailto:") || strings.HasPrefix(href, "javascript:") {
+			continue
+		}
+		u, err := url.Parse(href)
+		if err != nil {
+			continue
+		}
+		if base != nil {
+			u = base.ResolveReference(u)
+		}
+		out = append(out, u.String())
+	}
+	return out
+}
+
+// TableDecl is a raw extracted HTML table.
+type TableDecl struct {
+	Headers []string   // from <th> cells of the first row, may be empty
+	Rows    [][]string // data rows
+}
+
+// ExtractTables returns every <table> in the document as text cells.
+// The first row is treated as a header row iff it contains <th> cells —
+// the same heuristic the WebTables work starts from before its quality
+// classifier runs.
+func ExtractTables(doc *Node) []TableDecl {
+	var out []TableDecl
+	for _, t := range Find(doc, "table") {
+		var td TableDecl
+		for ri, tr := range Find(t, "tr") {
+			var cells []string
+			hasTH := false
+			for _, c := range tr.Children {
+				if c.Type != NodeElement {
+					continue
+				}
+				switch c.Tag {
+				case "th":
+					hasTH = true
+					cells = append(cells, strings.TrimSpace(VisibleText(c)))
+				case "td":
+					cells = append(cells, strings.TrimSpace(VisibleText(c)))
+				}
+			}
+			if len(cells) == 0 {
+				continue
+			}
+			if ri == 0 && hasTH {
+				td.Headers = cells
+			} else {
+				td.Rows = append(td.Rows, cells)
+			}
+		}
+		if td.Headers != nil || td.Rows != nil {
+			out = append(out, td)
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package htmlx
+
+import (
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const carFormPage = `<!DOCTYPE html>
+<html><head><title>Find Used Cars</title>
+<script>var x = "<td>not a cell</td>";</script>
+<style>.a { color: red }</style>
+</head>
+<body>
+<h1>Search our inventory</h1>
+<form action="/results" method="GET" id="carsearch">
+  <label for="make">Make</label>
+  <select name="make">
+    <option value="">any make</option>
+    <option value="ford" selected>Ford</option>
+    <option>honda</option>
+  </select>
+  <label for="minprice">Min Price</label>
+  <input type="text" name="minprice">
+  <label for="maxprice">Max Price</label>
+  <input type="text" name="maxprice" value="5000">
+  <input type="hidden" name="lang" value="en">
+  <input type="submit" value="Search">
+</form>
+<form action="/buy" method="post">
+  <input type="text" name="cardnumber">
+</form>
+<a href="/about">About</a>
+<a href="http://other.example.com/x?y=1&amp;z=2">other</a>
+<a href="#frag">skip</a>
+<a href="mailto:a@b.c">skip</a>
+<a href="javascript:void(0)">skip</a>
+<table>
+  <tr><th>Make</th><th>Price</th></tr>
+  <tr><td>ford</td><td>2500</td></tr>
+  <tr><td>honda</td><td>3100</td></tr>
+</table>
+</body></html>`
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize(`<p class="x">hi &amp; bye</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[0].Type != TokenStartTag || toks[0].Tag != "p" || toks[0].Attrs["class"] != "x" {
+		t.Errorf("start tag wrong: %+v", toks[0])
+	}
+	if toks[1].Type != TokenText || toks[1].Text != "hi & bye" {
+		t.Errorf("text wrong: %+v", toks[1])
+	}
+	if toks[2].Type != TokenEndTag || toks[2].Tag != "p" {
+		t.Errorf("end tag wrong: %+v", toks[2])
+	}
+}
+
+func TestTokenizeQuotedGT(t *testing.T) {
+	toks := Tokenize(`<input value="a>b" name=x>`)
+	if len(toks) != 1 || toks[0].Attrs["value"] != "a>b" || toks[0].Attrs["name"] != "x" {
+		t.Fatalf("quoted > mishandled: %+v", toks)
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := Tokenize(`<script>if (a<b) { x = "<td>"; }</script><p>ok</p>`)
+	var sawScriptText bool
+	for _, tok := range toks {
+		if tok.Type == TokenText && strings.Contains(tok.Text, "<td>") {
+			sawScriptText = true
+		}
+		if tok.Type == TokenStartTag && tok.Tag == "td" {
+			t.Fatal("script content leaked as markup")
+		}
+	}
+	if !sawScriptText {
+		t.Error("script raw text lost")
+	}
+}
+
+func TestTokenizeSelfClosingAndComments(t *testing.T) {
+	toks := Tokenize(`<br/><!-- note --><hr />`)
+	if toks[0].Type != TokenSelfClosing || toks[0].Tag != "br" {
+		t.Errorf("self-closing br wrong: %+v", toks[0])
+	}
+	if toks[1].Type != TokenComment || strings.TrimSpace(toks[1].Text) != "note" {
+		t.Errorf("comment wrong: %+v", toks[1])
+	}
+	if toks[2].Type != TokenSelfClosing || toks[2].Tag != "hr" {
+		t.Errorf("self-closing hr wrong: %+v", toks[2])
+	}
+}
+
+func TestTokenizeMalformedIsText(t *testing.T) {
+	toks := Tokenize(`a < b and c > d`)
+	for _, tok := range toks {
+		if tok.Type != TokenText {
+			t.Fatalf("malformed markup should degrade to text, got %+v", tok)
+		}
+	}
+}
+
+func TestParseAutoCloseOptions(t *testing.T) {
+	doc := Parse(`<select name="s"><option value="1">one<option value="2">two</select>`)
+	sel := Find(doc, "select")[0]
+	opts := Find(sel, "option")
+	if len(opts) != 2 {
+		t.Fatalf("want 2 options, got %d", len(opts))
+	}
+	// Options must be siblings, not nested.
+	if opts[1].Parent == opts[0] {
+		t.Error("second option nested inside first")
+	}
+}
+
+func TestParseTableAutoClose(t *testing.T) {
+	doc := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	trs := Find(doc, "tr")
+	if len(trs) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(trs))
+	}
+	if tds := Find(trs[0], "td"); len(tds) != 2 {
+		t.Errorf("row 0: want 2 cells, got %d", len(tds))
+	}
+}
+
+func TestParseStrayEndTagIgnored(t *testing.T) {
+	doc := Parse(`<div>a</span>b</div>`)
+	if txt := VisibleText(doc); txt != "a b" {
+		t.Errorf("VisibleText = %q, want %q", txt, "a b")
+	}
+}
+
+func TestVisibleTextSkipsScriptStyle(t *testing.T) {
+	doc := Parse(carFormPage)
+	txt := VisibleText(doc)
+	if strings.Contains(txt, "not a cell") || strings.Contains(txt, "color: red") {
+		t.Errorf("script/style text leaked: %q", txt)
+	}
+	if !strings.Contains(txt, "Search our inventory") {
+		t.Errorf("body text missing: %q", txt)
+	}
+}
+
+func TestExtractForms(t *testing.T) {
+	doc := Parse(carFormPage)
+	forms := ExtractForms(doc)
+	if len(forms) != 2 {
+		t.Fatalf("want 2 forms, got %d", len(forms))
+	}
+	f := forms[0]
+	if f.Action != "/results" || f.Method != "get" || f.ID != "carsearch" {
+		t.Errorf("form header wrong: %+v", f)
+	}
+	if len(f.Inputs) != 5 {
+		t.Fatalf("want 5 inputs, got %d: %+v", len(f.Inputs), f.Inputs)
+	}
+	sel := f.Inputs[0]
+	if sel.Kind != "select" || sel.Name != "make" || len(sel.Options) != 3 {
+		t.Fatalf("select wrong: %+v", sel)
+	}
+	if sel.Options[1].Value != "ford" || !sel.Options[1].Selected {
+		t.Errorf("option attrs wrong: %+v", sel.Options[1])
+	}
+	if sel.Options[2].Value != "honda" { // value defaults to label
+		t.Errorf("valueless option wrong: %+v", sel.Options[2])
+	}
+	if sel.Label != "Make" {
+		t.Errorf("label binding wrong: %q", sel.Label)
+	}
+	if f.Inputs[2].Name != "maxprice" || f.Inputs[2].Value != "5000" {
+		t.Errorf("default value lost: %+v", f.Inputs[2])
+	}
+	if f.Inputs[3].Kind != "hidden" || f.Inputs[3].Value != "en" {
+		t.Errorf("hidden input wrong: %+v", f.Inputs[3])
+	}
+	if forms[1].Method != "post" {
+		t.Errorf("POST form method = %q", forms[1].Method)
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	doc := Parse(carFormPage)
+	base, _ := url.Parse("http://cars.example.com/search")
+	links := ExtractLinks(doc, base)
+	want := []string{
+		"http://cars.example.com/about",
+		"http://other.example.com/x?y=1&z=2",
+	}
+	if !reflect.DeepEqual(links, want) {
+		t.Errorf("links = %v, want %v", links, want)
+	}
+}
+
+func TestExtractTables(t *testing.T) {
+	doc := Parse(carFormPage)
+	tables := ExtractTables(doc)
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	tb := tables[0]
+	if !reflect.DeepEqual(tb.Headers, []string{"Make", "Price"}) {
+		t.Errorf("headers = %v", tb.Headers)
+	}
+	if len(tb.Rows) != 2 || tb.Rows[0][0] != "ford" || tb.Rows[1][1] != "3100" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestExtractTablesNoHeader(t *testing.T) {
+	doc := Parse(`<table><tr><td>1</td><td>2</td></tr></table>`)
+	tables := ExtractTables(doc)
+	if len(tables) != 1 || tables[0].Headers != nil || len(tables[0].Rows) != 1 {
+		t.Fatalf("headerless table wrong: %+v", tables)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	raw := `a & b <c> "d"`
+	if got := UnescapeEntities(EscapeText(raw)); got != raw {
+		t.Errorf("text round trip = %q, want %q", got, raw)
+	}
+}
+
+func TestParseAttrsForms(t *testing.T) {
+	toks := Tokenize(`<input type=text name=q value>`)
+	a := toks[0].Attrs
+	if a["type"] != "text" || a["name"] != "q" {
+		t.Errorf("unquoted attrs wrong: %v", a)
+	}
+	if _, ok := a["value"]; !ok {
+		t.Error("bare attribute missing")
+	}
+}
+
+func TestAttrFirstWins(t *testing.T) {
+	toks := Tokenize(`<input name="a" name="b">`)
+	if toks[0].Attrs["name"] != "a" {
+		t.Errorf("first-wins violated: %v", toks[0].Attrs)
+	}
+}
+
+// Property: Parse never panics and VisibleText never contains '<' on
+// arbitrary input.
+func TestParsePropertyTotal(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		_ = VisibleText(doc)
+		_ = ExtractForms(doc)
+		_ = ExtractTables(doc)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing escaped text yields the original text back.
+func TestEscapePropertyRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// Strip control chars that the tokenizer's whitespace trim eats.
+		clean := strings.Map(func(r rune) rune {
+			if r < 0x20 {
+				return -1
+			}
+			return r
+		}, s)
+		clean = strings.TrimSpace(clean)
+		if clean == "" {
+			return true
+		}
+		doc := Parse("<p>" + EscapeText(clean) + "</p>")
+		texts := Find(doc, "p")
+		if len(texts) != 1 {
+			return false
+		}
+		norm := func(s string) string { return strings.Join(strings.Fields(s), " ") }
+		return norm(VisibleText(texts[0])) == norm(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package htmlx is a small, dependency-free HTML parser sufficient for
+// the deep-web pipeline: it tokenizes tag soup, builds a forgiving
+// element tree, and extracts the four artifacts the system consumes —
+// forms with their inputs (the surfacing engine's raw material), links
+// (the crawler's frontier), tables (the WebTables aggregator's input)
+// and visible text (the IR index's input).
+//
+// It is not a spec-complete HTML5 parser; it implements the subset real
+// form pages exercise, with auto-closing rules for the usual offenders
+// (<option>, <li>, <tr>, <td>, <p>) and raw-text handling for <script>
+// and <style>.
+package htmlx
+
+import (
+	"strings"
+)
+
+// TokenType discriminates tokenizer output.
+type TokenType uint8
+
+// Token types.
+const (
+	TokenText TokenType = iota
+	TokenStartTag
+	TokenEndTag
+	TokenSelfClosing
+	TokenComment
+	TokenDoctype
+)
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Type  TokenType
+	Tag   string            // lower-cased tag name, for tag tokens
+	Attrs map[string]string // lower-cased attribute names
+	Text  string            // raw text, for text/comment tokens
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&", "&lt;", "<", "&gt;", ">",
+	"&quot;", `"`, "&#39;", "'", "&apos;", "'", "&nbsp;", " ",
+)
+
+// UnescapeEntities decodes the handful of entities the generator and
+// ordinary pages emit.
+func UnescapeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// EscapeText encodes text for safe embedding in an HTML text node.
+var EscapeText = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace
+
+// EscapeAttr encodes text for embedding in a double-quoted attribute.
+var EscapeAttr = strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;").Replace
+
+// Tokenize lexes an HTML document. It never fails: malformed markup
+// degrades to text tokens, matching browser behaviour closely enough for
+// crawling.
+func Tokenize(src string) []Token {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			toks = appendText(toks, src[i:])
+			break
+		}
+		if lt > 0 {
+			toks = appendText(toks, src[i:i+lt])
+			i += lt
+		}
+		// src[i] == '<'
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				toks = append(toks, Token{Type: TokenComment, Text: src[i+4:]})
+				break
+			}
+			toks = append(toks, Token{Type: TokenComment, Text: src[i+4 : i+4+end]})
+			i += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(src[i:], "<!") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				break
+			}
+			toks = append(toks, Token{Type: TokenDoctype, Text: src[i+2 : i+end]})
+			i += end + 1
+			continue
+		}
+		// A '<' not followed by a letter or '/' is literal text ("a < b").
+		if i+1 >= n || !isTagStart(src[i+1]) {
+			toks = appendText(toks, "<")
+			i++
+			continue
+		}
+		gt := findTagEnd(src, i)
+		if gt < 0 {
+			toks = appendText(toks, src[i:])
+			break
+		}
+		raw := src[i+1 : gt]
+		i = gt + 1
+		tok, ok := parseTag(raw)
+		if !ok {
+			toks = appendText(toks, "<"+raw+">")
+			continue
+		}
+		toks = append(toks, tok)
+		// Raw-text elements: consume until the matching close tag.
+		if tok.Type == TokenStartTag && (tok.Tag == "script" || tok.Tag == "style" || tok.Tag == "textarea") {
+			closer := "</" + tok.Tag
+			idx := indexFold(src[i:], closer)
+			if idx < 0 {
+				toks = appendText(toks, src[i:])
+				break
+			}
+			if idx > 0 {
+				toks = append(toks, Token{Type: TokenText, Text: src[i : i+idx]})
+			}
+			i += idx
+			gt2 := strings.IndexByte(src[i:], '>')
+			if gt2 < 0 {
+				break
+			}
+			toks = append(toks, Token{Type: TokenEndTag, Tag: tok.Tag})
+			i += gt2 + 1
+		}
+	}
+	return toks
+}
+
+func appendText(toks []Token, text string) []Token {
+	if text == "" {
+		return toks
+	}
+	return append(toks, Token{Type: TokenText, Text: UnescapeEntities(text)})
+}
+
+// findTagEnd locates the '>' terminating the tag opened at src[start],
+// skipping '>' inside quoted attribute values.
+func findTagEnd(src string, start int) int {
+	inQuote := byte(0)
+	for j := start + 1; j < len(src); j++ {
+		c := src[j]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '>':
+			return j
+		}
+	}
+	return -1
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(s, needle string) int {
+	ls, ln := strings.ToLower(s), strings.ToLower(needle)
+	return strings.Index(ls, ln)
+}
+
+// parseTag parses the inside of <...> into a tag token.
+func parseTag(raw string) (Token, bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return Token{}, false
+	}
+	end := false
+	if raw[0] == '/' {
+		end = true
+		raw = strings.TrimSpace(raw[1:])
+	}
+	selfClose := false
+	if strings.HasSuffix(raw, "/") {
+		selfClose = true
+		raw = strings.TrimSpace(raw[:len(raw)-1])
+	}
+	// Tag name.
+	j := 0
+	for j < len(raw) && !isSpace(raw[j]) {
+		j++
+	}
+	name := strings.ToLower(raw[:j])
+	if name == "" || !isTagName(name) {
+		return Token{}, false
+	}
+	tok := Token{Tag: name}
+	switch {
+	case end:
+		tok.Type = TokenEndTag
+		return tok, true
+	case selfClose:
+		tok.Type = TokenSelfClosing
+	default:
+		tok.Type = TokenStartTag
+	}
+	tok.Attrs = parseAttrs(raw[j:])
+	return tok, true
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// isTagStart reports whether c can begin a tag name (or close/decl).
+func isTagStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '/' || c == '!'
+}
+
+func isTagName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseAttrs parses `a="b" c d='e'` into a map. Later duplicates lose,
+// matching the HTML spec's first-wins rule.
+func parseAttrs(s string) map[string]string {
+	attrs := map[string]string{}
+	i := 0
+	n := len(s)
+	for i < n {
+		for i < n && isSpace(s[i]) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// Attribute name.
+		start := i
+		for i < n && s[i] != '=' && !isSpace(s[i]) {
+			i++
+		}
+		name := strings.ToLower(s[start:i])
+		for i < n && isSpace(s[i]) {
+			i++
+		}
+		val := ""
+		if i < n && s[i] == '=' {
+			i++
+			for i < n && isSpace(s[i]) {
+				i++
+			}
+			if i < n && (s[i] == '"' || s[i] == '\'') {
+				q := s[i]
+				i++
+				vstart := i
+				for i < n && s[i] != q {
+					i++
+				}
+				val = s[vstart:i]
+				if i < n {
+					i++
+				}
+			} else {
+				vstart := i
+				for i < n && !isSpace(s[i]) {
+					i++
+				}
+				val = s[vstart:i]
+			}
+		}
+		if name != "" {
+			if _, exists := attrs[name]; !exists {
+				attrs[name] = UnescapeEntities(val)
+			}
+		}
+	}
+	return attrs
+}

@@ -1,0 +1,153 @@
+package htmlx
+
+import "strings"
+
+// NodeType discriminates tree nodes.
+type NodeType uint8
+
+// Node types.
+const (
+	NodeElement NodeType = iota
+	NodeText
+	NodeDocument
+)
+
+// Node is one node in the parsed tree.
+type Node struct {
+	Type     NodeType
+	Tag      string            // for elements
+	Attrs    map[string]string // for elements
+	Text     string            // for text nodes
+	Children []*Node
+	Parent   *Node
+}
+
+// Attr returns the named attribute (lower-case key) or "".
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[name]
+}
+
+// voidElements never take children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// autoClose maps a tag to the set of open tags it implicitly closes:
+// a new <option> closes a pending <option>, <tr> closes <tr>/<td>/<th>,
+// and so on. This is the minimal recovery real-world form pages need.
+var autoClose = map[string][]string{
+	"option": {"option"},
+	"li":     {"li"},
+	"tr":     {"td", "th", "tr"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"p":      {"p"},
+	"thead":  {"tr", "td", "th"},
+	"tbody":  {"tr", "td", "th", "thead"},
+}
+
+// Parse builds a tree from HTML source. It never fails; unclosed tags
+// are closed at EOF and stray end tags are ignored, like browsers do.
+func Parse(src string) *Node {
+	doc := &Node{Type: NodeDocument}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	appendChild := func(child *Node) {
+		parent := top()
+		child.Parent = parent
+		parent.Children = append(parent.Children, child)
+	}
+
+	for _, tok := range Tokenize(src) {
+		switch tok.Type {
+		case TokenText:
+			if strings.TrimSpace(tok.Text) == "" {
+				continue
+			}
+			appendChild(&Node{Type: NodeText, Text: tok.Text})
+		case TokenComment, TokenDoctype:
+			// Dropped: nothing downstream consumes them.
+		case TokenSelfClosing:
+			appendChild(&Node{Type: NodeElement, Tag: tok.Tag, Attrs: tok.Attrs})
+		case TokenStartTag:
+			if closes := autoClose[tok.Tag]; closes != nil {
+				for len(stack) > 1 && contains(closes, top().Tag) {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			el := &Node{Type: NodeElement, Tag: tok.Tag, Attrs: tok.Attrs}
+			appendChild(el)
+			if !voidElements[tok.Tag] {
+				stack = append(stack, el)
+			}
+		case TokenEndTag:
+			// Pop to the nearest matching open element, if any.
+			for j := len(stack) - 1; j >= 1; j-- {
+				if stack[j].Tag == tok.Tag {
+					stack = stack[:j]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk visits every node under n in document order, root first. The
+// visitor returns false to prune the subtree.
+func Walk(n *Node, visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		Walk(c, visit)
+	}
+}
+
+// Find returns every element with the given tag under n, in document
+// order.
+func Find(n *Node, tag string) []*Node {
+	var out []*Node
+	Walk(n, func(m *Node) bool {
+		if m.Type == NodeElement && m.Tag == tag {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// VisibleText concatenates the text nodes under n, space-separated,
+// skipping script and style subtrees. It is what the IR index and the
+// page signature see.
+func VisibleText(n *Node) string {
+	var b strings.Builder
+	Walk(n, func(m *Node) bool {
+		if m.Type == NodeElement && (m.Tag == "script" || m.Tag == "style") {
+			return false
+		}
+		if m.Type == NodeText {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strings.TrimSpace(m.Text))
+		}
+		return true
+	})
+	return b.String()
+}

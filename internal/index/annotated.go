@@ -1,0 +1,166 @@
+package index
+
+import (
+	"strings"
+	"sync"
+
+	"deepweb/internal/textutil"
+)
+
+// Annotation support (§5.1). When a deep-web page is surfaced, the
+// engine knows exactly which inputs it filled to generate the page —
+// structure that a plain IR index throws away. The paper's "used ford
+// focus 1993" example shows the cost: a surfaced Honda Civic listing
+// page whose text happens to mention the Ford Focus can outrank real
+// Ford pages. Annotations keep the surfacing-time binding attached to
+// the document, and AnnotatedSearch exploits it: a query token that is
+// a known value of an annotated attribute demotes documents whose
+// annotation *contradicts* it and boosts documents whose annotation
+// confirms it.
+
+// annStore carries annotations parallel to docs.
+type annStore struct {
+	mu    sync.RWMutex
+	anns  map[int]map[string]string // docID -> attr -> value
+	vocab map[string]map[string]int // attr -> value -> support
+}
+
+func (ix *Index) annotations() *annStore {
+	ix.annOnce.Do(func() {
+		ix.ann = &annStore{
+			anns:  map[int]map[string]string{},
+			vocab: map[string]map[string]int{},
+		}
+	})
+	return ix.ann
+}
+
+// Annotate attaches attribute=value annotations to an indexed document
+// (typically the form binding that surfaced it). Values are stored
+// lower-cased; empty values are ignored.
+func (ix *Index) Annotate(docID int, anns map[string]string) {
+	st := ix.annotations()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.anns[docID]
+	if m == nil {
+		m = map[string]string{}
+		st.anns[docID] = m
+	}
+	for attr, v := range anns {
+		attr = strings.ToLower(strings.TrimSpace(attr))
+		v = strings.ToLower(strings.TrimSpace(v))
+		if attr == "" || v == "" {
+			continue
+		}
+		m[attr] = v
+		vv := st.vocab[attr]
+		if vv == nil {
+			vv = map[string]int{}
+			st.vocab[attr] = vv
+		}
+		vv[v]++
+	}
+}
+
+// AnnotationsOf returns a document's annotations (nil if none).
+func (ix *Index) AnnotationsOf(docID int) map[string]string {
+	st := ix.annotations()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	src := st.anns[docID]
+	if src == nil {
+		return nil
+	}
+	out := make(map[string]string, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Annotation-aware scoring factors. Demotion is strong: a contradicted
+// annotation means the page's records are about something else
+// entirely, however good the term statistics look.
+const (
+	annBoost  = 1.25
+	annDemote = 0.10
+)
+
+// AnnotatedSearch is Search plus §5.1 annotation exploitation. For
+// every attribute whose value vocabulary intersects the query, a
+// document annotated with a *different* value of that attribute is
+// demoted, and one annotated with the mentioned value is boosted.
+// Unannotated documents are untouched, so the method degrades to plain
+// BM25 when no annotations exist.
+func (ix *Index) AnnotatedSearch(query string, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	// Over-fetch so demotions cannot empty the cut.
+	base := ix.Search(query, k*5+10)
+	if len(base) == 0 {
+		return base
+	}
+	st := ix.annotations()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	q := " " + strings.Join(textutil.Tokenize(query), " ") + " "
+	// queryValues[attr] = the value of attr the query mentions, if any.
+	queryValues := map[string]string{}
+	for attr, values := range st.vocab {
+		for v := range values {
+			if strings.Contains(q, " "+v+" ") {
+				// Prefer the longest mentioned value (multi-word values
+				// like "santa fe" beat their substrings).
+				if len(v) > len(queryValues[attr]) {
+					queryValues[attr] = v
+				}
+			}
+		}
+	}
+	if len(queryValues) == 0 {
+		if k < len(base) {
+			base = base[:k]
+		}
+		return base
+	}
+	for i := range base {
+		anns := st.anns[base[i].DocID]
+		if anns == nil {
+			continue
+		}
+		for attr, want := range queryValues {
+			have, ok := anns[attr]
+			if !ok {
+				continue
+			}
+			if have == want {
+				base[i].Score *= annBoost
+			} else {
+				base[i].Score *= annDemote
+			}
+		}
+	}
+	// Stable re-rank by adjusted score.
+	sortResults(base)
+	if k < len(base) {
+		base = base[:k]
+	}
+	return base
+}
+
+func sortResults(rs []Result) {
+	// insertion sort is fine at the over-fetch sizes involved and keeps
+	// the tie-break (doc id) stable.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j-1].Score > rs[j].Score ||
+				(rs[j-1].Score == rs[j].Score && rs[j-1].DocID < rs[j].DocID) {
+				break
+			}
+			rs[j-1], rs[j] = rs[j], rs[j-1]
+		}
+	}
+}

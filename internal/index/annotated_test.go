@@ -1,0 +1,119 @@
+package index
+
+import (
+	"testing"
+)
+
+func annotatedIndex() *Index {
+	ix := New()
+	// A real Ford Focus listings page…
+	id1, _ := ix.Add(Doc{URL: "ford-page", Text: "ford focus 1993 clean title low miles ford focus wagon"})
+	ix.Annotate(id1, map[string]string{"make": "ford"})
+	// …and the §5.1 decoy: a Honda page whose text mentions the Focus.
+	id2, _ := ix.Add(Doc{URL: "honda-page", Text: "honda civic 1993 better mileage than the ford focus"})
+	ix.Annotate(id2, map[string]string{"make": "honda"})
+	// An unannotated surface-web page.
+	ix.Add(Doc{URL: "blog", Text: "my old ford focus 1993 road trip story"})
+	return ix
+}
+
+func TestAnnotateAndLookup(t *testing.T) {
+	ix := annotatedIndex()
+	anns := ix.AnnotationsOf(0)
+	if anns["make"] != "ford" {
+		t.Errorf("AnnotationsOf(0) = %v", anns)
+	}
+	if ix.AnnotationsOf(2) != nil {
+		t.Error("unannotated doc should give nil")
+	}
+	// Returned map is a copy.
+	anns["make"] = "mutated"
+	if ix.AnnotationsOf(0)["make"] != "ford" {
+		t.Error("AnnotationsOf leaked internal state")
+	}
+}
+
+func TestAnnotateIgnoresEmpty(t *testing.T) {
+	ix := New()
+	id, _ := ix.Add(Doc{URL: "u", Text: "x y"})
+	ix.Annotate(id, map[string]string{"": "v", "attr": "", "ok": "Val"})
+	anns := ix.AnnotationsOf(id)
+	if len(anns) != 1 || anns["ok"] != "val" {
+		t.Errorf("anns = %v", anns)
+	}
+}
+
+func TestAnnotatedSearchDemotesContradiction(t *testing.T) {
+	ix := annotatedIndex()
+	// Plain search: decoy competes on equal terms.
+	plain := ix.Search("ford focus 1993", 3)
+	if len(plain) != 3 {
+		t.Fatalf("plain hits = %d", len(plain))
+	}
+	// Annotated search: the honda page is demoted below both others.
+	ann := ix.AnnotatedSearch("ford focus 1993", 3)
+	if len(ann) != 3 {
+		t.Fatalf("annotated hits = %d", len(ann))
+	}
+	if ann[len(ann)-1].URL != "honda-page" {
+		t.Errorf("contradicted page not last: %+v", ann)
+	}
+	if ann[0].URL == "honda-page" {
+		t.Error("contradicted page ranked first")
+	}
+}
+
+func TestAnnotatedSearchBoostsConfirmation(t *testing.T) {
+	ix := annotatedIndex()
+	ann := ix.AnnotatedSearch("honda civic", 3)
+	if len(ann) == 0 || ann[0].URL != "honda-page" {
+		t.Errorf("confirmed page not first: %+v", ann)
+	}
+}
+
+func TestAnnotatedSearchNoVocabularyMatchIsPlain(t *testing.T) {
+	ix := annotatedIndex()
+	plain := ix.Search("road trip story", 3)
+	ann := ix.AnnotatedSearch("road trip story", 3)
+	if len(plain) != len(ann) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(ann))
+	}
+	for i := range plain {
+		if plain[i].URL != ann[i].URL {
+			t.Errorf("rank %d differs without annotation signal", i)
+		}
+	}
+}
+
+func TestAnnotatedSearchUnannotatedUntouched(t *testing.T) {
+	ix := annotatedIndex()
+	ann := ix.AnnotatedSearch("ford focus 1993", 3)
+	for _, hit := range ann {
+		if hit.URL == "blog" && hit.Score <= 0 {
+			t.Error("unannotated doc score altered")
+		}
+	}
+}
+
+func TestAnnotatedSearchEdgeCases(t *testing.T) {
+	ix := New()
+	if got := ix.AnnotatedSearch("anything", 5); got != nil {
+		t.Error("empty index should return nil")
+	}
+	ix.Add(Doc{URL: "u", Text: "hello"})
+	if got := ix.AnnotatedSearch("hello", 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestAnnotatedSearchMultiWordValue(t *testing.T) {
+	ix := New()
+	id1, _ := ix.Add(Doc{URL: "sf", Text: "listings in san francisco bay area"})
+	ix.Annotate(id1, map[string]string{"city": "san francisco"})
+	id2, _ := ix.Add(Doc{URL: "sd", Text: "san diego listings mention san francisco once"})
+	ix.Annotate(id2, map[string]string{"city": "san diego"})
+	ann := ix.AnnotatedSearch("homes san francisco", 2)
+	if len(ann) == 0 || ann[0].URL != "sf" {
+		t.Errorf("multi-word value handling wrong: %+v", ann)
+	}
+}

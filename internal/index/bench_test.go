@@ -1,0 +1,51 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchIndex(n int) *Index {
+	ix := New()
+	for i := 0; i < n; i++ {
+		ix.Add(Doc{
+			URL:   fmt.Sprintf("http://site-%d.example/page", i),
+			Title: fmt.Sprintf("listing %d", i),
+			Text: fmt.Sprintf("ford focus %d for sale in seattle, price %d, clean title, low miles, record %d",
+				1990+i%20, 500+i*13%25000, i),
+		})
+	}
+	return ix
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	b.ReportAllocs()
+	ix := New()
+	for i := 0; i < b.N; i++ {
+		ix.Add(Doc{
+			URL:  fmt.Sprintf("u%d", i),
+			Text: "ford focus 1993 for sale in seattle clean title low miles",
+		})
+	}
+}
+
+func BenchmarkIndexSearch(b *testing.B) {
+	ix := benchIndex(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("ford focus seattle", 10)
+	}
+}
+
+func BenchmarkAnnotatedSearch(b *testing.B) {
+	ix := benchIndex(5000)
+	for i := 0; i < 5000; i++ {
+		ix.Annotate(i, map[string]string{"make": []string{"ford", "honda", "toyota"}[i%3]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.AnnotatedSearch("ford focus seattle", 10)
+	}
+}

@@ -1,0 +1,211 @@
+// Package index is the IR substrate: an inverted index with BM25
+// ranking. Surfaced deep-web pages are inserted "like any other HTML
+// page" (paper §3.2) — the index neither knows nor cares that a document
+// came from a form submission, which is precisely the surfacing
+// approach's architectural bet. Attribution (which form produced which
+// document) is carried as opaque metadata so experiments can credit
+// impact back to forms (E1).
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"deepweb/internal/textutil"
+)
+
+// Doc is a document to index.
+type Doc struct {
+	URL    string
+	Title  string
+	Text   string
+	Source string // opaque attribution, e.g. the form ID that surfaced it
+}
+
+// Result is one ranked hit.
+type Result struct {
+	DocID  int
+	URL    string
+	Title  string
+	Source string
+	Score  float64
+}
+
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+// Index is an in-memory inverted index with BM25 scoring. It is safe
+// for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	docs     []Doc
+	lens     []int
+	byURL    map[string]int
+	postings map[string][]posting
+	totalLen int
+
+	annOnce sync.Once
+	ann     *annStore
+}
+
+// BM25 constants; the standard values.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{byURL: map[string]int{}, postings: map[string][]posting{}}
+}
+
+// Add indexes a document and returns its id. A URL already present is
+// not re-indexed (the crawler and the surfacer may both submit the same
+// page); the existing id is returned with added=false.
+func (ix *Index) Add(d Doc) (id int, added bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if existing, ok := ix.byURL[d.URL]; ok {
+		return existing, false
+	}
+	id = len(ix.docs)
+	ix.docs = append(ix.docs, d)
+	ix.byURL[d.URL] = id
+
+	// Title terms count twice: cheap field boost.
+	terms := termsOf(d.Title)
+	terms = append(terms, termsOf(d.Title)...)
+	terms = append(terms, termsOf(d.Text)...)
+	tf := map[string]int32{}
+	for _, t := range terms {
+		tf[t]++
+	}
+	for t, f := range tf {
+		ix.postings[t] = append(ix.postings[t], posting{doc: int32(id), tf: f})
+	}
+	ix.lens = append(ix.lens, len(terms))
+	ix.totalLen += len(terms)
+	return id, true
+}
+
+// termsOf is the single tokenization pipeline for documents and queries:
+// tokenize, drop stopwords, stem.
+func termsOf(s string) []string {
+	toks := textutil.Tokenize(s)
+	out := toks[:0]
+	for _, t := range toks {
+		if textutil.IsStopword(t) {
+			continue
+		}
+		out = append(out, textutil.Stem(t))
+	}
+	return out
+}
+
+// Len returns the number of documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Has reports whether a URL is already indexed.
+func (ix *Index) Has(url string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.byURL[url]
+	return ok
+}
+
+// Doc returns the indexed document with the given id.
+func (ix *Index) Doc(id int) Doc {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docs[id]
+}
+
+// DF returns the document frequency of a (raw) term after the standard
+// pipeline is applied to it.
+func (ix *Index) DF(term string) int {
+	ts := termsOf(term)
+	if len(ts) == 0 {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[ts[0]])
+}
+
+// Search returns the top-k BM25 hits for a free-text query. Ties break
+// by ascending doc id so results are deterministic.
+func (ix *Index) Search(query string, k int) []Result {
+	qterms := termsOf(query)
+	if len(qterms) == 0 || k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.docs)
+	if n == 0 {
+		return nil
+	}
+	avgdl := float64(ix.totalLen) / float64(n)
+	if avgdl == 0 {
+		avgdl = 1
+	}
+	scores := map[int32]float64{}
+	seen := map[string]bool{}
+	for _, t := range qterms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		plist := ix.postings[t]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := idf(n, len(plist))
+		for _, p := range plist {
+			dl := float64(ix.lens[p.doc])
+			tf := float64(p.tf)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		doc := ix.docs[d]
+		out = append(out, Result{DocID: int(d), URL: doc.URL, Title: doc.Title, Source: doc.Source, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// idf is the BM25 idf with the +1 smoothing that keeps it positive.
+func idf(n, df int) float64 {
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// DocsBySource counts indexed documents per source attribution; used by
+// impact accounting.
+func (ix *Index) DocsBySource() map[string]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := map[string]int{}
+	for _, d := range ix.docs {
+		if d.Source != "" {
+			out[d.Source]++
+		}
+	}
+	return out
+}

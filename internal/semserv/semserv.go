@@ -1,0 +1,138 @@
+// Package semserv is the §6 "semantic server": an HTTP JSON service
+// exposing what aggregated web structure knows — attribute synonyms,
+// schema auto-complete, attribute values, and entity properties — for
+// use by schema matchers, form fillers, information extractors and
+// query expanders.
+package semserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"deepweb/internal/webtables"
+)
+
+// Server wraps the aggregated artifacts behind HTTP endpoints:
+//
+//	GET /synonyms?attr=make&k=5
+//	GET /autocomplete?attrs=make,model&k=5
+//	GET /values?attr=city&k=10
+//	GET /properties?entity=seattle&k=10
+type Server struct {
+	ACS    *webtables.ACSDb
+	Values *webtables.ValueStore
+	Tables []webtables.RawTable
+	mux    *http.ServeMux
+}
+
+// New assembles a server over the aggregate structures.
+func New(acs *webtables.ACSDb, vals *webtables.ValueStore, tables []webtables.RawTable) *Server {
+	s := &Server{ACS: acs, Values: vals, Tables: tables, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/synonyms", s.handleSynonyms)
+	s.mux.HandleFunc("/autocomplete", s.handleAutocomplete)
+	s.mux.HandleFunc("/values", s.handleValues)
+	s.mux.HandleFunc("/properties", s.handleProperties)
+	s.mux.HandleFunc("/tablesearch", s.handleTableSearch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func kParam(r *http.Request) int {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k <= 0 {
+		return 10
+	}
+	return k
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ScoredItem is one JSON response entry.
+type ScoredItem struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+func toItems(xs []webtables.Scored) []ScoredItem {
+	out := make([]ScoredItem, len(xs))
+	for i, x := range xs {
+		out[i] = ScoredItem{x.Name, x.Score}
+	}
+	return out
+}
+
+func (s *Server) handleSynonyms(w http.ResponseWriter, r *http.Request) {
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		http.Error(w, "missing attr", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, toItems(s.ACS.Synonyms(attr, kParam(r))))
+}
+
+func (s *Server) handleAutocomplete(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("attrs")
+	if raw == "" {
+		http.Error(w, "missing attrs", http.StatusBadRequest)
+		return
+	}
+	attrs := strings.Split(raw, ",")
+	writeJSON(w, toItems(s.ACS.SchemaAutocomplete(attrs, kParam(r))))
+}
+
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		http.Error(w, "missing attr", http.StatusBadRequest)
+		return
+	}
+	vals := s.Values.Values(attr, kParam(r))
+	if vals == nil {
+		vals = []string{}
+	}
+	writeJSON(w, vals)
+}
+
+func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		http.Error(w, "missing entity", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, toItems(webtables.PropertiesOf(s.Tables, entity, kParam(r))))
+}
+
+// tableHitJSON is the /tablesearch response entry: enough of the table
+// to judge relevance, plus provenance.
+type tableHitJSON struct {
+	URL     string   `json:"url"`
+	Headers []string `json:"headers"`
+	Rows    int      `json:"rows"`
+	Score   float64  `json:"score"`
+}
+
+func (s *Server) handleTableSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	hits := webtables.SearchTables(s.Tables, q, kParam(r))
+	out := make([]tableHitJSON, len(hits))
+	for i, h := range hits {
+		out[i] = tableHitJSON{
+			URL:     h.Table.URL,
+			Headers: h.Table.Headers,
+			Rows:    len(h.Table.Rows),
+			Score:   h.Score,
+		}
+	}
+	writeJSON(w, out)
+}

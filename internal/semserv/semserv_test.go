@@ -1,0 +1,132 @@
+package semserv
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"deepweb/internal/webtables"
+)
+
+func testServer() *Server {
+	acs := &webtables.ACSDb{Freq: map[string]int{}, Pair: map[[2]string]int{}}
+	for i := 0; i < 20; i++ {
+		acs.AddSchema([]string{"make", "model", "price"})
+	}
+	for i := 0; i < 15; i++ {
+		acs.AddSchema([]string{"maker", "model", "price"})
+	}
+	vals := webtables.NewValueStore()
+	vals.AddColumn("city", []string{"seattle", "portland", "seattle"})
+	tables := []webtables.RawTable{
+		{Headers: []string{"city", "population"}, Rows: [][]string{{"seattle", "700000"}}},
+	}
+	return New(acs, vals, tables)
+}
+
+func getJSON(t *testing.T, s *Server, path string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad JSON from %s: %v", path, err)
+		}
+	}
+	return rec.Code
+}
+
+func TestSynonymsEndpoint(t *testing.T) {
+	s := testServer()
+	var items []ScoredItem
+	if code := getJSON(t, s, "/synonyms?attr=make", &items); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(items) == 0 || items[0].Name != "maker" {
+		t.Errorf("synonyms = %+v", items)
+	}
+}
+
+func TestAutocompleteEndpoint(t *testing.T) {
+	s := testServer()
+	var items []ScoredItem
+	if code := getJSON(t, s, "/autocomplete?attrs=make&k=2", &items); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(items) == 0 || items[0].Name != "model" {
+		t.Errorf("autocomplete = %+v", items)
+	}
+	if len(items) > 2 {
+		t.Errorf("k ignored: %d items", len(items))
+	}
+}
+
+func TestValuesEndpoint(t *testing.T) {
+	s := testServer()
+	var vals []string
+	if code := getJSON(t, s, "/values?attr=city", &vals); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(vals) != 2 || vals[0] != "seattle" {
+		t.Errorf("values = %v", vals)
+	}
+	// Unknown attr → empty list, not error.
+	if code := getJSON(t, s, "/values?attr=nosuch", &vals); code != 200 {
+		t.Errorf("unknown attr status %d", code)
+	}
+	if len(vals) != 0 {
+		t.Errorf("unknown attr values = %v", vals)
+	}
+}
+
+func TestPropertiesEndpoint(t *testing.T) {
+	s := testServer()
+	var items []ScoredItem
+	if code := getJSON(t, s, "/properties?entity=seattle", &items); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	names := map[string]bool{}
+	for _, it := range items {
+		names[it.Name] = true
+	}
+	if !names["population"] {
+		t.Errorf("properties = %+v", items)
+	}
+}
+
+func TestMissingParams(t *testing.T) {
+	s := testServer()
+	for _, path := range []string{"/synonyms", "/autocomplete", "/values", "/properties"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 400 {
+			t.Errorf("%s without params: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestKDefaultsAndBounds(t *testing.T) {
+	s := testServer()
+	var items []ScoredItem
+	getJSON(t, s, "/synonyms?attr=make&k=0", &items)   // bad k → default
+	getJSON(t, s, "/synonyms?attr=make&k=abc", &items) // non-numeric → default
+}
+
+func TestTableSearchEndpoint(t *testing.T) {
+	s := testServer()
+	var hits []map[string]any
+	if code := getJSON(t, s, "/tablesearch?q=population&k=5", &hits); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(hits) != 1 || hits[0]["url"] != "http://x" && hits[0]["rows"].(float64) != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+	req := httptest.NewRequest("GET", "/tablesearch", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Errorf("missing q: status %d, want 400", rec.Code)
+	}
+}

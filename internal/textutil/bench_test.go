@@ -1,0 +1,34 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchText = strings.Repeat(
+	"quality used cars for sale in seattle, ford focus 1993 clean title $2,500 low miles; ", 40)
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchText)
+	}
+}
+
+func BenchmarkSignatureOf(b *testing.B) {
+	b.SetBytes(int64(len(benchText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SignatureOf(benchText)
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	v1 := NewTermVector(ContentTokens(benchText))
+	v2 := NewTermVector(ContentTokens(benchText + " honda civic portland"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cosine(v1, v2)
+	}
+}

@@ -1,0 +1,69 @@
+package textutil
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Signature is a compact content fingerprint of a result page. The
+// surfacing engine's informativeness test (paper §3.2, algorithms in
+// Madhavan et al. PVLDB'08) distinguishes query templates by how many
+// *distinct* result pages they produce; pages differing only in
+// navigation chrome or the echoed query must collapse to the same
+// signature, so the fingerprint is computed over the sorted set of
+// content tokens rather than the raw bytes.
+type Signature uint64
+
+// SignatureOf fingerprints the visible text of a page. Token order and
+// multiplicity are discarded: a page listing the same records in a
+// different order, or echoing the submitted query string, signs the same.
+func SignatureOf(text string) Signature {
+	toks := ContentTokens(text)
+	seen := make(map[string]struct{}, len(toks))
+	uniq := toks[:0]
+	for _, t := range toks {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		uniq = append(uniq, t)
+	}
+	sort.Strings(uniq)
+	h := fnv.New64a()
+	for _, t := range uniq {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return Signature(h.Sum64())
+}
+
+// SignatureOfTokens fingerprints an already-tokenized record set. Used by
+// tests and by the site generator to compute ground-truth signatures.
+func SignatureOfTokens(tokens []string) Signature {
+	uniq := make([]string, 0, len(tokens))
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		uniq = append(uniq, t)
+	}
+	sort.Strings(uniq)
+	h := fnv.New64a()
+	for _, t := range uniq {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return Signature(h.Sum64())
+}
+
+// DistinctSignatures counts the distinct signatures in sigs; it is the
+// quantity the informativeness test thresholds on.
+func DistinctSignatures(sigs []Signature) int {
+	set := make(map[Signature]struct{}, len(sigs))
+	for _, s := range sigs {
+		set[s] = struct{}{}
+	}
+	return len(set)
+}

@@ -1,0 +1,198 @@
+package textutil
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("Used Ford Focus, 1993 — $2,500!")
+	want := []string{"used", "ford", "focus", "1993", "500"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeDropsExtremes(t *testing.T) {
+	long := strings.Repeat("x", 41)
+	got := Tokenize("a b " + long + " ok")
+	want := []string{"ok"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v, want empty", got)
+	}
+	if got := Tokenize("!!! --- ???"); len(got) != 0 {
+		t.Errorf("Tokenize(punct) = %v, want empty", got)
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("HONDA Civic EX") {
+		if tok != strings.ToLower(tok) {
+			t.Errorf("token %q not lower-cased", tok)
+		}
+	}
+}
+
+func TestContentTokensFiltersStopwordsAndDigits(t *testing.T) {
+	got := ContentTokens("the price of the car is 12500 dollars")
+	want := []string{"price", "car", "dollars"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ContentTokens = %v, want %v", got, want)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"cars":      "car",
+		"cities":    "city",
+		"makes":     "make",
+		"listing":   "list",
+		"listed":    "list",
+		"glass":     "glass",
+		"bus":       "bus",
+		"price":     "price",
+		"addresses": "address",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := NewTermVector([]string{"ford", "focus"})
+	b := NewTermVector([]string{"ford", "focus"})
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine(identical) = %v, want 1", got)
+	}
+	c := NewTermVector([]string{"honda", "civic"})
+	if got := Cosine(a, c); got != 0 {
+		t.Errorf("Cosine(disjoint) = %v, want 0", got)
+	}
+	if got := Cosine(a, TermVector{}); got != 0 {
+		t.Errorf("Cosine(with empty) = %v, want 0", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := NewTermVector([]string{"ford", "focus", "1993"})
+	b := NewTermVector([]string{"ford", "escort", "1993"})
+	if got, want := Jaccard(a, b), 2.0/4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if got := Jaccard(TermVector{}, TermVector{}); got != 1 {
+		t.Errorf("Jaccard(empty,empty) = %v, want 1", got)
+	}
+}
+
+func TestTopTermsDeterministicTieBreak(t *testing.T) {
+	v := TermVector{"beta": 2, "alpha": 2, "gamma": 1}
+	got := v.TopTerms(2)
+	if got[0].Term != "alpha" || got[1].Term != "beta" {
+		t.Errorf("TopTerms tie-break = %v, want alpha,beta", got)
+	}
+}
+
+func TestTopTermsKLargerThanVector(t *testing.T) {
+	v := TermVector{"a2": 1}
+	if got := v.TopTerms(10); len(got) != 1 {
+		t.Errorf("TopTerms len = %d, want 1", len(got))
+	}
+}
+
+func TestTFIDFRareTermsWeighHigher(t *testing.T) {
+	tf := TermVector{"common": 1, "rare": 1}
+	df := map[string]int{"common": 90, "rare": 2}
+	w := TFIDF(tf, df, 100)
+	if w["rare"] <= w["common"] {
+		t.Errorf("tf-idf: rare %v should outweigh common %v", w["rare"], w["common"])
+	}
+}
+
+func TestSignatureIgnoresOrderAndMultiplicity(t *testing.T) {
+	a := SignatureOf("honda civic 1999 blue sedan")
+	b := SignatureOf("blue sedan honda honda civic 1999")
+	if a != b {
+		t.Errorf("signatures of permuted/multiplied content differ: %v vs %v", a, b)
+	}
+	c := SignatureOf("honda accord 1999 blue sedan")
+	if a == c {
+		t.Errorf("signatures of different content collide")
+	}
+}
+
+func TestSignatureIgnoresStopwordChrome(t *testing.T) {
+	a := SignatureOf("results for the query: honda civic")
+	b := SignatureOf("honda civic results query")
+	if a != b {
+		t.Errorf("stopword chrome changed the signature")
+	}
+}
+
+func TestDistinctSignatures(t *testing.T) {
+	sigs := []Signature{1, 2, 2, 3, 1}
+	if got := DistinctSignatures(sigs); got != 3 {
+		t.Errorf("DistinctSignatures = %d, want 3", got)
+	}
+	if got := DistinctSignatures(nil); got != 0 {
+		t.Errorf("DistinctSignatures(nil) = %d, want 0", got)
+	}
+}
+
+// Property: tokenization output only contains runes that are letters or
+// digits, lower-cased, within the length bounds.
+func TestTokenizePropertyWellFormed(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) < 2 || len(tok) > 40 {
+				return false
+			}
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cosine similarity is symmetric and bounded.
+func TestCosinePropertySymmetricBounded(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := NewTermVector(xs), NewTermVector(ys)
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		return math.Abs(c1-c2) < 1e-9 && c1 >= 0 && c1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a signature is invariant under shuffling of tokens.
+func TestSignaturePropertyPermutationInvariant(t *testing.T) {
+	f := func(xs []string, seed int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		perm := make([]string, len(xs))
+		copy(perm, xs)
+		sort.Strings(perm) // any fixed permutation suffices
+		return SignatureOfTokens(xs) == SignatureOfTokens(perm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package textutil provides the text-processing primitives shared by the
+// crawler, the IR index and the surfacing engine: tokenization, stopword
+// filtering, light stemming, tf-idf vectors, similarity measures and
+// content signatures.
+//
+// Everything here is deterministic and allocation-conscious: the surfacing
+// engine calls Signature on every fetched result page, and the index
+// tokenizes every document it ingests.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word tokens. A token is a maximal run
+// of letters or digits; everything else separates tokens. Tokens shorter
+// than 2 runes and longer than 40 runes are dropped (single letters carry
+// no retrieval signal; over-long runs are almost always markup noise).
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			t := b.String()
+			if n := len(t); n >= 2 && n <= 40 {
+				tokens = append(tokens, t)
+			}
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords is the closed set of English function words excluded from
+// term vectors and keyword candidates. It intentionally stays small: the
+// iterative prober relies on content words surviving.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"has": true, "have": true, "he": true, "in": true, "is": true,
+	"it": true, "its": true, "of": true, "on": true, "or": true,
+	"that": true, "the": true, "this": true, "to": true, "was": true,
+	"were": true, "will": true, "with": true, "we": true, "you": true,
+	"your": true, "our": true, "all": true, "any": true, "can": true,
+	"not": true, "no": true, "if": true, "so": true, "do": true,
+	"does": true, "their": true, "there": true, "they": true, "been": true,
+	"more": true, "other": true, "new": true, "one": true, "two": true,
+	"about": true, "into": true, "over": true, "per": true, "than": true,
+}
+
+// IsStopword reports whether the (already lower-cased) token is an English
+// function word that should not be used as a probe keyword or index term
+// weight anchor.
+func IsStopword(t string) bool { return stopwords[t] }
+
+// ContentTokens tokenizes s and removes stopwords and pure-digit tokens.
+// It is the candidate pool used for seed-keyword extraction.
+func ContentTokens(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, t := range toks {
+		if IsStopword(t) || isDigits(t) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func isDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Stem applies a deliberately light suffix-stripping stem: plural -s/-es,
+// -ies→y, -ing and -ed with a guard on stem length. It trades linguistic
+// fidelity for predictability; the index only needs plural/verb-form
+// conflation, and an aggressive stemmer would merge probe keywords the
+// surfacing engine must keep distinct.
+func Stem(t string) string {
+	n := len(t)
+	switch {
+	case n > 4 && strings.HasSuffix(t, "ies"):
+		return t[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(t, "sses"):
+		return t[:n-2]
+	case n > 3 && strings.HasSuffix(t, "es") && !strings.HasSuffix(t, "ses"):
+		return t[:n-1] // "makes"→"make", keep "buses"→"buse" out via ses guard above
+	case n > 3 && strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss") && !strings.HasSuffix(t, "us"):
+		return t[:n-1]
+	case n > 5 && strings.HasSuffix(t, "ing"):
+		return t[:n-3]
+	case n > 4 && strings.HasSuffix(t, "ed"):
+		return t[:n-2]
+	}
+	return t
+}

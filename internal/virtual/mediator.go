@@ -1,0 +1,267 @@
+package virtual
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepweb/internal/form"
+	"deepweb/internal/htmlx"
+	"deepweb/internal/textutil"
+	"deepweb/internal/webx"
+)
+
+// Source is a deep-web form registered with the mediator: the form plus
+// its semantic mapping into a mediated schema.
+type Source struct {
+	Form   *form.Form
+	Schema *Schema
+	// Mappings maps mediated attribute name → form input name.
+	Mappings map[string]string
+}
+
+// Mediator is a multi-domain virtual-integration system: schemas,
+// mapped sources, routing and reformulation. One mediator instance is
+// "a vertical search engine per domain" glued together — which the
+// paper argues does not scale past a handful of domains; experiments
+// hold it to a handful.
+type Mediator struct {
+	Fetch   *webx.Fetcher
+	Schemas []*Schema
+	Sources []*Source
+	// MaxRouted caps sources queried per keyword query; beyond it the
+	// mediator is imposing the "unreasonable load" of §3.1.
+	MaxRouted int
+
+	// Requests counts live form submissions issued at query time.
+	Requests int
+}
+
+// NewMediator builds a mediator over the builtin schemas.
+func NewMediator(f *webx.Fetcher) *Mediator {
+	return &Mediator{Fetch: f, Schemas: BuiltinSchemas(), MaxRouted: 25}
+}
+
+// Register classifies a form into a domain and builds its semantic
+// mapping. It fails when no schema maps at least one input — the
+// paper's boundary case: "forms cannot be classified into a small set
+// of domains".
+func (m *Mediator) Register(f *form.Form) (*Source, error) {
+	var best *Source
+	bestScore := 0
+	for _, schema := range m.Schemas {
+		mappings := map[string]string{}
+		score := 0
+		for _, attr := range schema.Attributes {
+			bestIn, bestInScore := "", 0
+			for _, in := range f.Bindable() {
+				if s := attr.matchScore(in.Name, in.Label); s > bestInScore {
+					bestIn, bestInScore = in.Name, s
+				}
+			}
+			if bestInScore > 0 {
+				mappings[attr.Name] = bestIn
+				score += bestInScore
+			}
+		}
+		if len(mappings) > 0 && score > bestScore {
+			best = &Source{Form: f, Schema: schema, Mappings: mappings}
+			bestScore = score
+		}
+	}
+	if best == nil || bestScore == 0 {
+		return nil, fmt.Errorf("virtual: no schema maps form %s", f.ID)
+	}
+	m.Sources = append(m.Sources, best)
+	return best, nil
+}
+
+// Route returns the sources whose domain a keyword query plausibly
+// belongs to, most relevant first. The score combines routing-word hits
+// and value-vocabulary hits; zero-score domains are never queried.
+func (m *Mediator) Route(query string) []*Source {
+	toks := textutil.Tokenize(strings.ToLower(query))
+	type scored struct {
+		src   *Source
+		score int
+	}
+	var out []scored
+	for _, src := range m.Sources {
+		score := 0
+		for _, t := range toks {
+			for _, rw := range src.Schema.RoutingWords {
+				if t == rw {
+					score += 2
+				}
+			}
+			if _, ok := src.Schema.attrByToken(t); ok {
+				score++
+			}
+		}
+		if score > 0 {
+			out = append(out, scored{src, score})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+	srcs := make([]*Source, 0, len(out))
+	for _, s := range out {
+		srcs = append(srcs, s.src)
+	}
+	if len(srcs) > m.MaxRouted {
+		srcs = srcs[:m.MaxRouted]
+	}
+	return srcs
+}
+
+// Reformulate translates a keyword query into a binding for one source:
+// tokens bind to mediated attributes through value vocabularies, then
+// attributes translate to form inputs through the source mapping.
+// Leftover content tokens go to a mapped free-keyword attribute if one
+// exists. ok is false when nothing binds — the query is outside what
+// the schema can express (the §3.2 fortuitous-query failure mode).
+func (m *Mediator) Reformulate(query string, src *Source) (form.Binding, bool) {
+	toks := textutil.Tokenize(strings.ToLower(query))
+	b := form.Binding{}
+	var leftover []string
+	for _, t := range toks {
+		if attr, ok := src.Schema.attrByToken(t); ok {
+			if input, mapped := src.Mappings[attr]; mapped {
+				if prev, exists := b[input]; exists {
+					b[input] = prev + " " + t
+				} else {
+					b[input] = t
+				}
+				continue
+			}
+		}
+		if !textutil.IsStopword(t) && !isRoutingWord(src.Schema, t) {
+			leftover = append(leftover, t)
+		}
+	}
+	if kwInput, ok := src.Mappings["keywords"]; ok && len(leftover) > 0 {
+		b[kwInput] = strings.Join(leftover, " ")
+	}
+	return b, len(b) > 0
+}
+
+func isRoutingWord(s *Schema, t string) bool {
+	for _, rw := range s.RoutingWords {
+		if t == rw {
+			return true
+		}
+	}
+	return false
+}
+
+// Answer is one mediated result record.
+type Answer struct {
+	Site   string
+	Record string
+	Score  float64
+}
+
+// AnswerStats meters one Answer call.
+type AnswerStats struct {
+	Routed      int // sources the query was routed to
+	Submitted   int // live form submissions issued
+	Unroutable  bool
+	NoBindings  int // routed sources the query could not be reformulated for
+	RecordsSeen int
+}
+
+// Answer routes, reformulates, submits live, extracts records and
+// merges them ranked by overlap with the query. This is the full
+// query-time pipeline whose per-query source load E2 meters.
+func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
+	var st AnswerStats
+	srcs := m.Route(query)
+	st.Routed = len(srcs)
+	if len(srcs) == 0 {
+		st.Unroutable = true
+		return nil, st
+	}
+	qv := textutil.NewTermVector(textutil.ContentTokens(strings.ToLower(query)))
+	var answers []Answer
+	for _, src := range srcs {
+		b, ok := m.Reformulate(query, src)
+		if !ok {
+			st.NoBindings++
+			continue
+		}
+		recs := m.submit(src, b)
+		st.Submitted++
+		for _, rec := range recs {
+			rv := textutil.NewTermVector(textutil.ContentTokens(strings.ToLower(rec)))
+			score := textutil.Cosine(qv, rv)
+			if score > 0 {
+				answers = append(answers, Answer{Site: src.Form.Site, Record: rec, Score: score})
+			}
+		}
+	}
+	st.RecordsSeen = len(answers)
+	sort.SliceStable(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return answers[i].Record < answers[j].Record
+	})
+	if k < len(answers) {
+		answers = answers[:k]
+	}
+	return answers, st
+}
+
+// StructuredQuery is the vertical-search entry point (§3.1): a typed
+// query over the mediated schema of one domain, fanned out to every
+// source of that domain and merged. Unlike keyword Answer, all
+// attribute semantics are preserved — this is where virtual integration
+// genuinely shines.
+func (m *Mediator) StructuredQuery(domain string, q map[string]string, k int) []Answer {
+	var answers []Answer
+	for _, src := range m.Sources {
+		if src.Schema.Domain != domain {
+			continue
+		}
+		b := form.Binding{}
+		for attr, val := range q {
+			if input, ok := src.Mappings[attr]; ok {
+				b[input] = val
+			}
+		}
+		if len(b) == 0 {
+			continue
+		}
+		for _, rec := range m.submit(src, b) {
+			answers = append(answers, Answer{Site: src.Form.Site, Record: rec, Score: 1})
+		}
+	}
+	sort.SliceStable(answers, func(i, j int) bool { return answers[i].Record < answers[j].Record })
+	if k < len(answers) {
+		answers = answers[:k]
+	}
+	return answers
+}
+
+// submit issues one live form submission (GET or POST — the mediator
+// is not limited to GET the way the surfacer is, §3.2) and extracts
+// result records as the text of repeated list items.
+func (m *Mediator) submit(src *Source, b form.Binding) []string {
+	m.Requests++
+	var page *webx.Page
+	var err error
+	if src.Form.Method == "get" {
+		page, err = m.Fetch.Get(src.Form.SubmitURL(b))
+	} else {
+		page, err = m.Fetch.Post(src.Form.Action.String(), src.Form.PostBody(b))
+	}
+	if err != nil || page.Status != 200 {
+		return nil
+	}
+	var recs []string
+	for _, li := range htmlx.Find(page.Doc, "li") {
+		if txt := strings.TrimSpace(htmlx.VisibleText(li)); txt != "" {
+			recs = append(recs, txt)
+		}
+	}
+	return recs
+}

@@ -1,0 +1,92 @@
+// Package virtual implements the virtual-integration (mediator)
+// approach of §3.1: per-domain mediated schemas, semantic mappings from
+// form inputs to mediated attributes, query-time routing of keyword
+// queries to relevant sources, and reformulation of those queries into
+// form submissions.
+//
+// It exists as the paper's counterpoint to surfacing: excellent inside
+// a vertical (richer queries, live results, POST forms, result
+// merging), but dependent on schemas and mappings that must exist per
+// domain, and unable to answer queries its schemas cannot express —
+// the behaviours experiments E2, E3 and E12 measure.
+package virtual
+
+import "strings"
+
+// Attribute is one element of a mediated schema.
+type Attribute struct {
+	Name string
+	// Synonyms are alternative names seen on real forms; the mapper
+	// matches input names/labels against them.
+	Synonyms []string
+	// Values is the attribute's known value vocabulary (the domain
+	// knowledge a vertical search engine curates). Query tokens are
+	// bound to attributes through it.
+	Values []string
+	// Numeric marks attributes whose values are numbers (prices,
+	// years); numeric query tokens can bind to them.
+	Numeric bool
+}
+
+// Schema is the mediated schema of one domain.
+type Schema struct {
+	Domain string
+	// RoutingWords are domain-indicative query words (beyond attribute
+	// values) used to decide a keyword query belongs to this domain.
+	RoutingWords []string
+	Attributes   []Attribute
+}
+
+// attrByToken returns the attribute a (lower-case) query token binds
+// to, if any: a value-vocabulary hit, or a numeric token for a numeric
+// attribute.
+func (s *Schema) attrByToken(tok string) (string, bool) {
+	for _, a := range s.Attributes {
+		for _, v := range a.Values {
+			if v == tok {
+				return a.Name, true
+			}
+		}
+	}
+	if isNumber(tok) {
+		for _, a := range s.Attributes {
+			if a.Numeric {
+				return a.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// matchScore scores how well a form input (name+label) maps to the
+// attribute: 2 for an exact name match, 1 for a substring or synonym
+// match, 0 for none. The weighting keeps a form's own vocabulary ahead
+// of cross-domain synonym collisions when classifying domains.
+func (a Attribute) matchScore(name, label string) int {
+	n := strings.ToLower(name)
+	if n == strings.ToLower(a.Name) {
+		return 2
+	}
+	hay := n + " " + strings.ToLower(label)
+	if strings.Contains(hay, strings.ToLower(a.Name)) {
+		return 1
+	}
+	for _, syn := range a.Synonyms {
+		if strings.Contains(hay, strings.ToLower(syn)) {
+			return 1
+		}
+	}
+	return 0
+}

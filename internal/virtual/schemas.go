@@ -1,0 +1,125 @@
+package virtual
+
+import (
+	"strconv"
+
+	"deepweb/internal/datagen"
+)
+
+// BuiltinSchemas returns mediated schemas for the verticals of the
+// synthetic web. In the real system each of these is weeks of curation
+// per domain — the paper's core scaling objection to virtual
+// integration ("creating a mediated schema for the web would be an epic
+// challenge"); here they are code, but code that must be written per
+// domain, which is exactly the point.
+func BuiltinSchemas() []*Schema {
+	years := make([]string, 0, 120)
+	for y := 1900; y <= 2009; y++ {
+		years = append(years, strconv.Itoa(y))
+	}
+	states := dedupe(datagen.USStates)
+	var models []string
+	for _, ms := range datagen.CarModels {
+		models = append(models, ms...)
+	}
+	return []*Schema{
+		{
+			Domain:       "usedcars",
+			RoutingWords: []string{"car", "cars", "used", "auto", "vehicle", "mileage"},
+			Attributes: []Attribute{
+				{Name: "make", Values: datagen.CarMakes},
+				{Name: "model", Values: models},
+				{Name: "year", Synonyms: []string{"yr"}, Numeric: true, Values: years},
+				{Name: "price", Synonyms: []string{"cost", "amount"}, Numeric: true},
+				{Name: "zip", Synonyms: []string{"zipcode", "postal"}, Numeric: true},
+				{Name: "city", Synonyms: []string{"town"}, Values: datagen.USCities},
+			},
+		},
+		{
+			Domain:       "realestate",
+			RoutingWords: []string{"home", "homes", "house", "apartment", "condo", "rental", "bedroom", "bedrooms", "loft", "townhouse", "estate"},
+			Attributes: []Attribute{
+				{Name: "city", Synonyms: []string{"town"}, Values: datagen.USCities},
+				{Name: "type", Synonyms: []string{"property"}, Values: []string{"house", "condo", "apartment", "townhouse", "loft"}},
+				{Name: "bedrooms", Synonyms: []string{"beds", "br"}, Numeric: true, Values: []string{"1", "2", "3", "4", "5", "6"}},
+				{Name: "price", Synonyms: []string{"cost"}, Numeric: true},
+			},
+		},
+		{
+			Domain:       "jobs",
+			RoutingWords: []string{"job", "jobs", "hiring", "career", "position", "employment"},
+			Attributes: []Attribute{
+				{Name: "title", Synonyms: []string{"job title", "position"}, Values: datagen.JobTitles},
+				{Name: "company", Synonyms: []string{"employer"}, Values: datagen.Companies},
+				{Name: "city", Values: datagen.USCities},
+				{Name: "state", Values: states},
+				{Name: "salary", Synonyms: []string{"pay", "wage"}, Numeric: true},
+			},
+		},
+		{
+			Domain:       "library",
+			RoutingWords: []string{"book", "books", "library", "catalog", "author", "isbn"},
+			Attributes: []Attribute{
+				{Name: "subject", Synonyms: []string{"topic", "category"}, Values: datagen.BookSubjects},
+				{Name: "year", Synonyms: []string{"published"}, Numeric: true, Values: years},
+				{Name: "keywords", Synonyms: []string{"q", "query", "search", "terms"}},
+			},
+		},
+		{
+			Domain:       "govdocs",
+			RoutingWords: []string{"permit", "regulation", "regulations", "notice", "agency", "public", "records"},
+			Attributes: []Attribute{
+				{Name: "agency", Synonyms: []string{"office", "department"}, Values: datagen.Agencies},
+				{Name: "topic", Synonyms: []string{"subject"}, Values: datagen.GovTopics},
+				{Name: "year", Numeric: true, Values: years},
+				{Name: "keywords", Synonyms: []string{"q", "search"}},
+			},
+		},
+		{
+			Domain:       "stores",
+			RoutingWords: []string{"store", "stores", "outlet", "locator", "hours"},
+			Attributes: []Attribute{
+				{Name: "zip", Synonyms: []string{"zipcode", "postal"}, Numeric: true},
+				{Name: "state", Values: states},
+				{Name: "city", Values: datagen.USCities},
+			},
+		},
+		{
+			Domain:       "media",
+			RoutingWords: []string{"movie", "movies", "music", "software", "game", "games", "dvd", "album"},
+			Attributes: []Attribute{
+				{Name: "category", Synonyms: []string{"catalog", "section"}, Values: datagen.MediaCategories},
+				{Name: "keywords", Synonyms: []string{"q", "search", "title"}},
+			},
+		},
+		{
+			Domain:       "faculty",
+			RoutingWords: []string{"professor", "faculty", "university", "department", "bio", "biography"},
+			Attributes: []Attribute{
+				{Name: "department", Values: datagen.Departments},
+				{Name: "name", Synonyms: []string{"person"}},
+			},
+		},
+		{
+			Domain:       "recipes",
+			RoutingWords: []string{"recipe", "recipes", "cook", "cooking", "cuisine", "dish", "ingredients"},
+			Attributes: []Attribute{
+				{Name: "cuisine", Values: datagen.Cuisines},
+				{Name: "dish", Synonyms: []string{"meal"}, Values: datagen.Dishes},
+				{Name: "minutes", Synonyms: []string{"time", "duration"}, Numeric: true},
+			},
+		},
+	}
+}
+
+func dedupe(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

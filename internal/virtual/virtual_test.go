@@ -1,0 +1,243 @@
+package virtual
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"deepweb/internal/form"
+	"deepweb/internal/htmlx"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webx"
+)
+
+// mediatorOver builds a world, registers every GET+POST form with the
+// mediator, and returns both.
+func mediatorOver(t *testing.T, cfg webgen.WorldConfig) (*webgen.Web, *Mediator) {
+	t.Helper()
+	web, err := webgen.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := webx.NewFetcher(web)
+	m := NewMediator(fetch)
+	for _, site := range web.Sites() {
+		page, err := fetch.Get(site.FormURL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		decls := page.Forms()
+		if len(decls) == 0 {
+			t.Fatalf("no form on %s", site.FormURL())
+		}
+		base := mustURL(t, page.URL)
+		f, err := form.FromDecl(base, decls[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Register(f); err != nil {
+			t.Fatalf("register %s: %v", f.ID, err)
+		}
+	}
+	return web, m
+}
+
+func mustURL(t *testing.T, raw string) *url.URL {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func formFromHTMLT(t *testing.T, html string) *form.Form {
+	t.Helper()
+	decls := htmlx.ExtractForms(htmlx.Parse(html))
+	if len(decls) == 0 {
+		t.Fatal("no form")
+	}
+	f, err := form.FromDecl(mustURL(t, "http://x.example/"), decls[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegisterClassifiesDomains(t *testing.T) {
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 60})
+	if len(m.Sources) != len(webgen.Domains) {
+		t.Fatalf("registered %d sources, want %d", len(m.Sources), len(webgen.Domains))
+	}
+	for _, src := range m.Sources {
+		if !strings.HasPrefix(src.Form.Site, src.Schema.Domain+"-") {
+			t.Errorf("form %s classified as %s", src.Form.Site, src.Schema.Domain)
+		}
+	}
+}
+
+func TestMappingsCoverFormInputs(t *testing.T) {
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 60})
+	for _, src := range m.Sources {
+		if src.Schema.Domain == "usedcars" {
+			if src.Mappings["make"] != "make" {
+				t.Errorf("usedcars make mapping = %v", src.Mappings)
+			}
+			if src.Mappings["zip"] != "zip" {
+				t.Errorf("usedcars zip mapping = %v", src.Mappings)
+			}
+			// minprice/maxprice: price maps to one of them.
+			if in := src.Mappings["price"]; in != "minprice" && in != "maxprice" {
+				t.Errorf("price mapped to %q", in)
+			}
+		}
+	}
+}
+
+func TestRouteDomainQueries(t *testing.T) {
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 2, RowsPerSite: 60})
+	srcs := m.Route("used ford cars")
+	if len(srcs) == 0 {
+		t.Fatal("car query routed nowhere")
+	}
+	if srcs[0].Schema.Domain != "usedcars" {
+		t.Errorf("top routed domain = %s", srcs[0].Schema.Domain)
+	}
+	if srcs := m.Route("qwzzk nonsense blarg"); len(srcs) != 0 {
+		t.Errorf("nonsense query routed to %d sources", len(srcs))
+	}
+}
+
+func TestReformulateBindsValues(t *testing.T) {
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 60})
+	var cars *Source
+	for _, s := range m.Sources {
+		if s.Schema.Domain == "usedcars" {
+			cars = s
+		}
+	}
+	b, ok := m.Reformulate("used ford cars", cars)
+	if !ok || b["make"] != "ford" {
+		t.Errorf("binding = %v ok=%v", b, ok)
+	}
+	// Un-expressible query: no bindable tokens.
+	if b, ok := m.Reformulate("sigmod innovations award", cars); ok {
+		t.Errorf("unexpressible query bound: %v", b)
+	}
+}
+
+func TestAnswerLiveQuery(t *testing.T) {
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 200})
+	answers, st := m.Answer("used ford cars", 10)
+	if st.Unroutable || st.Submitted == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers for a head query")
+	}
+	for _, a := range answers {
+		if !strings.Contains(strings.ToLower(a.Record), "ford") {
+			t.Errorf("answer does not mention ford: %q", a.Record)
+		}
+	}
+}
+
+func TestAnswerFortuitousQueryFails(t *testing.T) {
+	// The §3.2 example: the mediator understands the faculty form
+	// (department → bios) but cannot route an award query into it.
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 400})
+	answers, st := m.Answer("sigmod innovations award professor", 10)
+	// "professor" routes to the faculty domain, but the award tokens
+	// bind to nothing: the source is skipped, zero answers come back.
+	if len(answers) != 0 {
+		t.Errorf("mediator fortuitously answered: %+v (stats %+v)", answers[:1], st)
+	}
+	if st.Routed > 0 && st.NoBindings == 0 {
+		t.Errorf("expected routed-but-unbindable, got %+v", st)
+	}
+}
+
+func TestAnswerCountsRequests(t *testing.T) {
+	web, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 3, RowsPerSite: 100})
+	web.ResetCounts()
+	m.Requests = 0
+	_, st := m.Answer("homes in seattle", 10)
+	if m.Requests != st.Submitted {
+		t.Errorf("request meter %d != submitted %d", m.Requests, st.Submitted)
+	}
+	if got := web.TotalRequests(); got != st.Submitted {
+		t.Errorf("web saw %d requests, mediator claims %d", got, st.Submitted)
+	}
+}
+
+func TestStructuredQueryVertical(t *testing.T) {
+	web, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 2, RowsPerSite: 200})
+	// Pick a make that exists in site 0's data.
+	var mk string
+	for _, s := range web.Sites() {
+		if s.Spec.Domain == "usedcars" {
+			mk = s.Table.DistinctStrings("make")[0]
+			break
+		}
+	}
+	answers := m.StructuredQuery("usedcars", map[string]string{"make": mk}, 50)
+	if len(answers) == 0 {
+		t.Fatalf("structured query for make=%s found nothing", mk)
+	}
+	for _, a := range answers {
+		if !strings.Contains(a.Record, mk) {
+			t.Errorf("record lacks make %s: %q", mk, a.Record)
+		}
+	}
+}
+
+func TestMediatorQueriesPOSTSites(t *testing.T) {
+	// E12's flip side: POST forms are invisible to the surfacer but
+	// fully usable by the mediator.
+	web := webgen.NewWeb()
+	site, err := webgen.BuildSite("govdocs", 0, 11, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := webgen.AsPost(site)
+	web.AddSite(post)
+	fetch := webx.NewFetcher(web)
+	m := NewMediator(fetch)
+	page, err := fetch.Get(post.FormURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mustURL(t, page.URL)
+	f, err := form.FromDecl(base, page.Forms()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Method != "post" {
+		t.Fatalf("method = %s", f.Method)
+	}
+	if _, err := m.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	topic := post.Table.DistinctStrings("topic")[0]
+	answers, st := m.Answer("public records about "+topic, 10)
+	if st.Submitted == 0 || len(answers) == 0 {
+		t.Fatalf("POST mediation failed: stats=%+v answers=%d", st, len(answers))
+	}
+}
+
+func TestRegisterUnmappableForm(t *testing.T) {
+	m := NewMediator(nil)
+	f := formFromHTMLT(t, `<form action="/x"><input type="text" name="frobnicator"></form>`)
+	if _, err := m.Register(f); err == nil {
+		t.Error("unmappable form registered")
+	}
+}
+
+func TestMaxRoutedCap(t *testing.T) {
+	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 4, RowsPerSite: 50})
+	m.MaxRouted = 2
+	srcs := m.Route("homes houses apartments in seattle denver")
+	if len(srcs) > 2 {
+		t.Errorf("MaxRouted violated: %d", len(srcs))
+	}
+}

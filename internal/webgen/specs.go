@@ -1,0 +1,214 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+
+	"deepweb/internal/datagen"
+	"deepweb/internal/reldb"
+)
+
+// Domains lists the verticals the generator can build, mirroring the
+// paper's examples: classifieds (§3.1), store locators and government
+// portals (§3.2/§4.1), library text databases (§4.1), the
+// database-selection media site (§4.2) and faculty bios (§3.2's
+// fortuitous-query example).
+var Domains = []string{
+	"usedcars", "realestate", "jobs", "library", "govdocs",
+	"stores", "media", "faculty", "recipes",
+}
+
+// BuildSite constructs site number idx of a domain with a backing table
+// of n rows. Hosts are "<domain>-<idx>.example". The spec's ground-truth
+// labels (TypeHint, range pairs) describe the site's true back end.
+func BuildSite(domain string, idx int, seed int64, n int) (*Site, error) {
+	host := fmt.Sprintf("%s-%02d.example", domain, idx)
+	var (
+		table *reldb.Table
+		spec  SiteSpec
+	)
+	switch domain {
+	case "usedcars":
+		table = datagen.UsedCars(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "quality used cars " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "make", Label: "Make", Column: "make", Control: ControlSelect, Op: OpEq},
+				{Name: "model", Label: "Model", Column: "model", Control: ControlText, Op: OpEq},
+				{Name: "minprice", Label: "Min Price", Column: "price", Control: ControlText, Op: OpRangeMin, TypeHint: "price"},
+				{Name: "maxprice", Label: "Max Price", Column: "price", Control: ControlText, Op: OpRangeMax, TypeHint: "price"},
+				{Name: "zip", Label: "Zip Code", Column: "zip", Control: ControlText, Op: OpEq, TypeHint: "zipcode"},
+			},
+		}
+	case "realestate":
+		table = datagen.RealEstate(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "homes and rentals " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "city", Label: "City", Column: "city", Control: ControlText, Op: OpEq, TypeHint: "city"},
+				{Name: "type", Label: "Property Type", Column: "type", Control: ControlSelect, Op: OpEq},
+				{Name: "bedrooms", Label: "Bedrooms", Column: "bedrooms", Control: ControlSelect, Op: OpEq},
+				{Name: "minprice", Label: "Price From", Column: "price", Control: ControlText, Op: OpRangeMin, TypeHint: "price"},
+				{Name: "maxprice", Label: "Price To", Column: "price", Control: ControlText, Op: OpRangeMax, TypeHint: "price"},
+			},
+		}
+	case "jobs":
+		table = datagen.Jobs(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "job listings " + host,
+			Method: "get", PageSize: 15, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "title", Label: "Job Title", Column: "title", Control: ControlSelect, Op: OpEq},
+				{Name: "state", Label: "State", Column: "state", Control: ControlSelect, Op: OpEq},
+				{Name: "city", Label: "City", Column: "city", Control: ControlText, Op: OpEq, TypeHint: "city"},
+				{Name: "minsalary", Label: "Salary From", Column: "salary", Control: ControlText, Op: OpRangeMin, TypeHint: "price"},
+				{Name: "maxsalary", Label: "Salary To", Column: "salary", Control: ControlText, Op: OpRangeMax, TypeHint: "price"},
+			},
+		}
+	case "library":
+		table = datagen.Library(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "public library catalog " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "q", Label: "Keywords", Control: ControlText, Op: OpKeyword},
+				{Name: "subject", Label: "Subject", Column: "subject", Control: ControlSelect, Op: OpEq},
+				{Name: "year", Label: "Year", Column: "year", Control: ControlText, Op: OpEq, TypeHint: "date"},
+			},
+		}
+	case "govdocs":
+		table = datagen.GovDocs(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "public records portal " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "agency", Label: "Agency", Column: "agency", Control: ControlSelect, Op: OpEq},
+				{Name: "topic", Label: "Topic", Column: "topic", Control: ControlSelect, Op: OpEq},
+				{Name: "year", Label: "Year", Column: "year", Control: ControlText, Op: OpEq, TypeHint: "date"},
+				{Name: "q", Label: "Search", Control: ControlText, Op: OpKeyword},
+			},
+		}
+	case "stores":
+		table = datagen.Stores(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "store locator " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "zip", Label: "Zip Code", Column: "zip", Control: ControlText, Op: OpEq, TypeHint: "zipcode"},
+				{Name: "state", Label: "State", Column: "state", Control: ControlSelect, Op: OpEq},
+			},
+		}
+	case "media":
+		table = datagen.MediaCatalog(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "media superstore " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "category", Label: "Catalog", Column: "category", Control: ControlSelect, Op: OpEq},
+				{Name: "q", Label: "Search", Control: ControlText, Op: OpKeyword,
+					KeywordCols: []string{"title", "description"}},
+			},
+		}
+	case "faculty":
+		table = datagen.Faculty(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "university directory " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 3,
+			Inputs: []InputSpec{
+				{Name: "department", Label: "Department", Column: "department", Control: ControlSelect, Op: OpEq},
+			},
+		}
+	case "recipes":
+		table = datagen.Recipes(seed, n)
+		spec = SiteSpec{
+			Host: host, Domain: domain, Title: "recipe box " + host,
+			Method: "get", PageSize: 10, RequireBound: true, SeedRecords: 5,
+			Inputs: []InputSpec{
+				{Name: "cuisine", Label: "Cuisine", Column: "cuisine", Control: ControlSelect, Op: OpEq},
+				{Name: "dish", Label: "Dish", Column: "dish", Control: ControlText, Op: OpEq},
+				{Name: "maxminutes", Label: "Max Minutes", Column: "minutes", Control: ControlText, Op: OpRangeMax},
+			},
+		}
+	default:
+		return nil, fmt.Errorf("webgen: unknown domain %q", domain)
+	}
+	// Odd-indexed sites render some record-table columns under alias
+	// headers: same data, different attribute names across sites of a
+	// vertical — the raw material of the §6 synonym service (E11).
+	if idx%2 == 1 {
+		spec.HeaderAliases = headerAliases[domain]
+	}
+	return NewSite(spec, table), nil
+}
+
+// headerAliases lists per-domain display aliases for odd-indexed sites.
+var headerAliases = map[string]map[string]string{
+	"usedcars":   {"make": "maker", "price": "asking price"},
+	"realestate": {"type": "property kind", "price": "list price"},
+	"jobs":       {"title": "position", "salary": "pay"},
+	"library":    {"author": "writer", "subject": "topic"},
+	"govdocs":    {"agency": "office"},
+	"stores":     {"zip": "postal code"},
+	"media":      {"category": "section"},
+	"faculty":    {"department": "dept"},
+	"recipes":    {"cuisine": "style", "minutes": "cook time"},
+}
+
+// AliasPairs returns the ground-truth (canonical, alias) attribute
+// pairs the generator plants, sorted, for scoring synonym discovery.
+func AliasPairs() [][2]string {
+	var out [][2]string
+	for _, m := range headerAliases {
+		for canon, alias := range m {
+			out = append(out, [2]string{canon, alias})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// AsPost returns a copy of the site whose form uses the POST method —
+// identical content, unreachable to the surfacer (experiment E12).
+func AsPost(s *Site) *Site {
+	spec := s.Spec
+	spec.Method = "post"
+	spec.Host = "post-" + spec.Host
+	spec.Title = spec.Title + " (post)"
+	return NewSite(spec, s.Table)
+}
+
+// WorldConfig sizes a generated virtual internet.
+type WorldConfig struct {
+	Seed         int64
+	SitesPerDom  int // sites per domain
+	RowsPerSite  int // backing rows per site
+	PostFraction int // one in PostFraction sites is POST (0 = none)
+}
+
+// BuildWorld generates a full multi-domain virtual internet plus the hub
+// page that links every homepage.
+func BuildWorld(cfg WorldConfig) (*Web, error) {
+	web := NewWeb()
+	k := 0
+	for _, dom := range Domains {
+		for i := 0; i < cfg.SitesPerDom; i++ {
+			site, err := BuildSite(dom, i, cfg.Seed+int64(k)*7919, cfg.RowsPerSite)
+			if err != nil {
+				return nil, err
+			}
+			k++
+			if cfg.PostFraction > 0 && k%cfg.PostFraction == 0 {
+				site = AsPost(site)
+			}
+			web.AddSite(site)
+		}
+	}
+	return web, nil
+}

@@ -1,0 +1,78 @@
+package webtables
+
+import (
+	"sort"
+	"strings"
+
+	"deepweb/internal/textutil"
+)
+
+// Table search (§2): "A variation on this task is the search for
+// structured data collections (i.e., return pages that contain HTML
+// tables …). Such a search may be invoked when one is collecting data
+// for a mashup or to conduct a more detailed study." WebTables ranked
+// tables by matching query terms against schema and content, weighting
+// header hits above cell hits; SearchTables follows that scheme.
+
+// TableHit is one ranked table.
+type TableHit struct {
+	Table *RawTable
+	Score float64
+}
+
+// Header hits dominate cell hits: a query term naming a column is far
+// stronger evidence the table is *about* the term than an incidental
+// cell occurrence.
+const (
+	headerWeight = 5.0
+	cellWeight   = 1.0
+)
+
+// SearchTables ranks tables against a keyword query. Every query term
+// contributes headerWeight per matching header and cellWeight per
+// matching row (capped at one count per row, so long tables don't win
+// on bulk). Tables matching no term are omitted; ties break on fewer
+// rows (smaller, denser tables first) then extraction order.
+func SearchTables(ts []RawTable, query string, k int) []TableHit {
+	terms := textutil.ContentTokens(strings.ToLower(query))
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	var hits []TableHit
+	for i := range ts {
+		t := &ts[i]
+		var score float64
+		for _, term := range terms {
+			for _, h := range t.Headers {
+				if strings.Contains(h, term) {
+					score += headerWeight
+				}
+			}
+			for _, row := range t.Rows {
+				matched := false
+				for _, cell := range row {
+					if strings.Contains(strings.ToLower(cell), term) {
+						matched = true
+						break
+					}
+				}
+				if matched {
+					score += cellWeight
+				}
+			}
+		}
+		if score > 0 {
+			hits = append(hits, TableHit{Table: t, Score: score})
+		}
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return len(hits[i].Table.Rows) < len(hits[j].Table.Rows)
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}

@@ -1,0 +1,164 @@
+// Package webx is the crawling substrate: a fetcher that parses pages as
+// it retrieves them, and a breadth-first crawler with page and per-host
+// budgets. The surfacing engine uses the fetcher to probe forms; the
+// search engine uses the crawler to ingest the surface web and, after
+// surfacing, to pursue links out of deep-web result pages (paper §3.2:
+// "the web crawler will discover more content over time by pursuing
+// links from deep-web pages").
+package webx
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"deepweb/internal/htmlx"
+)
+
+// Page is a fetched, parsed page.
+type Page struct {
+	URL    string
+	Status int
+	HTML   string
+	Doc    *htmlx.Node
+}
+
+// Text returns the page's visible text.
+func (p *Page) Text() string { return htmlx.VisibleText(p.Doc) }
+
+// Title returns the <title> text, or "".
+func (p *Page) Title() string {
+	if t := htmlx.Find(p.Doc, "title"); len(t) > 0 {
+		return strings.TrimSpace(htmlx.VisibleText(t[0]))
+	}
+	return ""
+}
+
+// Links returns the page's out-links resolved against its own URL.
+func (p *Page) Links() []string {
+	base, err := url.Parse(p.URL)
+	if err != nil {
+		return nil
+	}
+	return htmlx.ExtractLinks(p.Doc, base)
+}
+
+// Forms returns the page's forms as semantic declarations.
+func (p *Page) Forms() []htmlx.FormDecl { return htmlx.ExtractForms(p.Doc) }
+
+// Fetcher retrieves and parses pages over a transport (in production the
+// network; in experiments the virtual internet).
+type Fetcher struct {
+	client *http.Client
+}
+
+// NewFetcher wraps a transport.
+func NewFetcher(rt http.RoundTripper) *Fetcher {
+	return &Fetcher{client: &http.Client{Transport: rt}}
+}
+
+// Get fetches and parses one page. Non-2xx statuses are returned as
+// pages, not errors: error pages are real observations the surfacer
+// reasons about.
+func (f *Fetcher) Get(u string) (*Page, error) {
+	resp, err := f.client.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("webx: get %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("webx: read %s: %w", u, err)
+	}
+	html := string(body)
+	return &Page{URL: u, Status: resp.StatusCode, HTML: html, Doc: htmlx.Parse(html)}, nil
+}
+
+// Post submits a form body and parses the response; the mediator's path
+// to POST forms (the surfacer never calls this).
+func (f *Fetcher) Post(u, body string) (*Page, error) {
+	resp, err := f.client.Post(u, "application/x-www-form-urlencoded", strings.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("webx: post %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("webx: read %s: %w", u, err)
+	}
+	html := string(b)
+	return &Page{URL: u, Status: resp.StatusCode, HTML: html, Doc: htmlx.Parse(html)}, nil
+}
+
+// Crawler walks the link graph breadth-first.
+type Crawler struct {
+	Fetcher *Fetcher
+	// MaxPages bounds the total pages fetched (0 = unlimited).
+	MaxPages int
+	// PerHostCap bounds pages fetched per host (0 = unlimited) — the
+	// politeness budget of §3.2.
+	PerHostCap int
+	// FollowQuery controls whether URLs with query strings are followed.
+	// The pre-surfacing crawl keeps this false: query URLs are exactly
+	// the deep-web space the crawler cannot enumerate on its own.
+	FollowQuery bool
+}
+
+// Crawl BFS-walks from the seeds and returns fetched pages in crawl
+// order. Duplicate URLs are fetched once; fetch errors skip the URL.
+func (c *Crawler) Crawl(seeds ...string) []*Page {
+	type qItem struct{ u string }
+	var (
+		queue   []qItem
+		seen    = map[string]bool{}
+		perHost = map[string]int{}
+		pages   []*Page
+	)
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, qItem{s})
+		}
+	}
+	for len(queue) > 0 {
+		if c.MaxPages > 0 && len(pages) >= c.MaxPages {
+			break
+		}
+		item := queue[0]
+		queue = queue[1:]
+		host := hostOf(item.u)
+		if c.PerHostCap > 0 && perHost[host] >= c.PerHostCap {
+			continue
+		}
+		page, err := c.Fetcher.Get(item.u)
+		if err != nil {
+			continue
+		}
+		perHost[host]++
+		if page.Status != http.StatusOK {
+			continue
+		}
+		pages = append(pages, page)
+		for _, l := range page.Links() {
+			if seen[l] {
+				continue
+			}
+			if !c.FollowQuery && strings.Contains(l, "?") {
+				continue
+			}
+			seen[l] = true
+			queue = append(queue, qItem{l})
+		}
+	}
+	return pages
+}
+
+func hostOf(u string) string {
+	parsed, err := url.Parse(u)
+	if err != nil {
+		return ""
+	}
+	return parsed.Host
+}
