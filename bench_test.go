@@ -11,10 +11,42 @@
 package deepweb
 
 import (
+	"fmt"
 	"testing"
 
+	"deepweb/internal/core"
+	"deepweb/internal/engine"
 	"deepweb/internal/experiments"
+	"deepweb/internal/webgen"
 )
+
+// BenchmarkSurfaceAll tracks the sequential-vs-parallel wall-clock of
+// the engine pipeline over a multi-site world (9 sites: one per
+// vertical). The world is generated once — surfacing never mutates it —
+// and each iteration runs a fresh engine, so the measured work is
+// exactly discovery + analysis/probing + URL generation + fetch+ingest.
+// Speedup tracks available cores; on a single-core machine the worker
+// counts tie.
+func BenchmarkSurfaceAll(b *testing.B) {
+	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			docs := 0
+			for i := 0; i < b.N; i++ {
+				e := engine.New(web)
+				e.Workers = workers
+				if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+					b.Fatal(err)
+				}
+				docs = e.Index.Len()
+			}
+			b.ReportMetric(float64(docs), "docs")
+		})
+	}
+}
 
 func BenchmarkE1LongTail(b *testing.B) {
 	var rep experiments.E1Report

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	deepcrawl [-sites N] [-rows N] [-seed N] [-naive] [-post N]
+//	deepcrawl [-sites N] [-rows N] [-seed N] [-workers N] [-naive] [-post N]
 package main
 
 import (
@@ -13,12 +13,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 
 	"deepweb/internal/core"
-	"deepweb/internal/coverage"
-	"deepweb/internal/experiments"
+	"deepweb/internal/engine"
 	"deepweb/internal/webgen"
 )
 
@@ -26,42 +26,44 @@ func main() {
 	sites := flag.Int("sites", 1, "sites per domain")
 	rows := flag.Int("rows", 300, "rows per site")
 	seed := flag.Int64("seed", 42, "world seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers")
 	naive := flag.Bool("naive", false, "disable all semantics (ablation arm)")
 	post := flag.Int("post", 0, "make one in N sites POST-only (0 = none)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	w, err := experiments.NewWorld(webgen.WorldConfig{
+	e, err := engine.Build(webgen.WorldConfig{
 		Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows, PostFraction: *post,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	e.Workers = *workers
 	cfg := core.DefaultConfig()
 	if *naive {
 		cfg = core.NaiveConfig()
 	}
-	fmt.Printf("surfacing %d sites (%d rows each, naive=%v)\n\n", len(w.Web.Sites()), *rows, *naive)
-	if err := w.SurfaceAll(cfg, 3); err != nil {
+	fmt.Printf("surfacing %d sites (%d rows each, %d workers, naive=%v)\n\n",
+		len(e.Web.Sites()), *rows, *workers, *naive)
+	if err := e.SurfaceAll(cfg, 3); err != nil {
 		log.Fatal(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "SITE\tURLS\tCOVERAGE\tPROBES\tTYPED\tRANGES\tDBSEL\tNOTE")
-	hosts := make([]string, 0, len(w.Results))
-	for h := range w.Results {
+	hosts := make([]string, 0, len(e.Results))
+	for h := range e.Results {
 		hosts = append(hosts, h)
 	}
 	sort.Strings(hosts)
 	totalDocs := 0
 	for _, host := range hosts {
-		res := w.Results[host]
-		site := w.Web.Site(host)
+		res := e.Results[host]
 		note := ""
 		if res.Analysis.PostOnly {
 			note = "POST-only: not surfaceable"
 		}
-		cov := coverage.ExactOf(site, res.URLs)
+		cov := e.SiteCoverage(host)
 		totalDocs += len(res.URLs)
 		fmt.Fprintf(tw, "%s\t%d\t%.0f%%\t%d\t%d\t%d\t%v\t%s\n",
 			host, len(res.URLs), 100*cov.Fraction(), res.ProbesUsed,
@@ -70,5 +72,5 @@ func main() {
 	}
 	tw.Flush()
 	fmt.Printf("\n%d URLs surfaced, %d documents indexed, mean coverage %.0f%%\n",
-		totalDocs, w.Index.Len(), 100*w.MeanCoverage())
+		totalDocs, e.Index.Len(), 100*e.MeanCoverage())
 }

@@ -4,22 +4,28 @@
 // served "like any other page" (§3.2); each result notes the form that
 // surfaced it.
 //
+// The server carries production manners (via internal/httpx):
+// read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
+//
 // Usage:
 //
-//	deepsearch [-addr :8080] [-sites N] [-rows N] [-seed N]
+//	deepsearch [-addr :8080] [-sites N] [-rows N] [-seed N] [-workers N]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"deepweb/internal/core"
-	"deepweb/internal/experiments"
+	"deepweb/internal/engine"
 	"deepweb/internal/htmlx"
+	"deepweb/internal/httpx"
 	"deepweb/internal/webgen"
 )
 
@@ -28,28 +34,31 @@ func main() {
 	sites := flag.Int("sites", 1, "sites per domain")
 	rows := flag.Int("rows", 300, "rows per site")
 	seed := flag.Int64("seed", 42, "world seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers")
 	annotated := flag.Bool("annotated", false, "rank with §5.1 surfacing-time annotations (see E13)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	w, err := experiments.NewWorld(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
+	e, err := engine.Build(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
 	if err != nil {
 		log.Fatal(err)
 	}
+	e.Workers = *workers
 	log.Printf("indexing surface web…")
-	w.IndexSurfaceWeb()
-	log.Printf("surfacing deep web…")
-	if err := w.SurfaceAll(core.DefaultConfig(), 5); err != nil {
+	e.IndexSurfaceWeb()
+	log.Printf("surfacing deep web (%d workers)…", *workers)
+	if err := e.SurfaceAll(core.DefaultConfig(), 5); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ready: %d documents indexed", w.Index.Len())
+	log.Printf("ready: %d documents indexed", e.Index.Len())
 
-	search := w.Index.Search
+	search := e.Index.Search
 	if *annotated {
-		search = w.Index.AnnotatedSearch
+		search = e.Index.AnnotatedSearch
 	}
 
-	http.HandleFunc("/api/search", func(rw http.ResponseWriter, r *http.Request) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/search", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
 		if k <= 0 {
@@ -58,7 +67,7 @@ func main() {
 		rw.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(rw).Encode(search(q, k))
 	})
-	http.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(rw, `<html><body><h1>deepsearch</h1>
@@ -78,6 +87,8 @@ func main() {
 		}
 		fmt.Fprint(rw, "</body></html>")
 	})
-	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+
+	if err := httpx.Serve(context.Background(), *addr, mux); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only E7]
+//	experiments [-quick] [-seed N] [-only E7] [-workers N]
 package main
 
 import (
@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"deepweb/internal/engine"
 	"deepweb/internal/experiments"
 )
 
@@ -22,8 +24,12 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	seed := flag.Int64("seed", 7, "experiment seed")
 	only := flag.String("only", "", "run only the named experiment (e.g. E7)")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers per world")
 	flag.Parse()
 	log.SetFlags(0)
+	// Parallel surfacing is bit-identical to sequential, so the reports
+	// are unaffected; this only buys wall-clock.
+	engine.DefaultWorkers = *workers
 
 	scale := 1
 	if *quick {

@@ -8,20 +8,22 @@
 //	GET /values?attr=city
 //	GET /properties?entity=seattle
 //
+// The server carries production manners (via internal/httpx):
+// read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	semserver [-addr :8081] [-sites N] [-rows N] [-seed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
-	"net/http"
 
-	"deepweb/internal/semserv"
+	"deepweb/internal/engine"
+	"deepweb/internal/httpx"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webtables"
-	"deepweb/internal/webx"
 )
 
 func main() {
@@ -32,22 +34,16 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 
-	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
+	e, err := engine.Build(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("crawling…")
-	c := &webx.Crawler{Fetcher: webx.NewFetcher(web), FollowQuery: true, MaxPages: 10000}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
-	raw := webtables.ExtractFromPages(pages)
-	good := webtables.QualityFilter(raw)
-	acs := webtables.BuildACSDb(good)
-	vals := webtables.NewValueStore()
-	vals.AddTables(good)
+	sem := e.BuildSemantics(10000)
 	log.Printf("aggregated %d pages → %d tables (%d relational), %d schemas, %d attributes",
-		len(pages), len(raw), len(good), acs.Schemas, len(acs.Freq))
+		sem.PagesCrawled, sem.RawTables, len(sem.Tables), sem.ACS.Schemas, len(sem.ACS.Freq))
 
-	srv := semserv.New(acs, vals, good)
-	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if err := httpx.Serve(context.Background(), *addr, sem.Server()); err != nil {
+		log.Fatal(err)
+	}
 }

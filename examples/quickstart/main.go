@@ -1,5 +1,5 @@
-// Quickstart: generate a small deep web, surface one site, and search
-// the results — the whole paper in ~60 lines.
+// Quickstart: generate a small deep web, surface one site through the
+// engine façade, and search the results — the whole paper in ~50 lines.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,10 +9,8 @@ import (
 	"log"
 
 	"deepweb/internal/core"
-	"deepweb/internal/coverage"
-	"deepweb/internal/index"
+	"deepweb/internal/engine"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webx"
 )
 
 func main() {
@@ -28,28 +26,25 @@ func main() {
 	fmt.Printf("site %s: %d records behind %s\n\n", site.Spec.Host, site.Table.Len(), site.FormURL())
 
 	// 2. Surface it: the engine discovers the form, recognizes input
-	// types, fuses the min/max price range, probes, and emits URLs.
-	fetch := webx.NewFetcher(web)
-	surfacer := core.NewSurfacer(fetch, core.DefaultConfig())
-	res, err := surfacer.SurfaceSite(site.HomeURL())
-	if err != nil {
+	// types, fuses the min/max price range, probes, emits URLs, and
+	// ingests the surfaced pages into its index like any other pages
+	// (§3.2).
+	e := engine.New(web)
+	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
 		log.Fatal(err)
 	}
+	res := e.Results[site.Spec.Host]
 	fmt.Printf("typed inputs: %v\n", res.Analysis.TypedInputs)
 	fmt.Printf("range pairs:  %v\n", res.Analysis.RangePairs)
 	fmt.Printf("emitted %d URLs using %d analysis requests\n", len(res.URLs), res.ProbesUsed)
-	cov := coverage.ExactOf(site, res.URLs)
+	cov := e.SiteCoverage(site.Spec.Host)
 	fmt.Printf("ground-truth coverage: %d/%d records (%.0f%%)\n\n", cov.Covered, cov.Total, 100*cov.Fraction())
 
-	// 3. Insert the surfaced pages into a search index, like any other
-	// pages (§3.2), and search.
-	ix := index.New()
-	st := core.IngestURLs(fetch, ix, res.Analysis.Form.ID, res.URLs, 3)
-	fmt.Printf("indexed %d deep-web pages\n\n", st.Indexed)
-
+	// 3. Search the index.
+	fmt.Printf("indexed %d deep-web pages\n\n", e.IngestStats[site.Spec.Host].Indexed)
 	for _, q := range []string{"used ford focus", "honda under 5000", "toyota corolla seattle"} {
 		fmt.Printf("query %q:\n", q)
-		for i, hit := range ix.Search(q, 3) {
+		for i, hit := range e.Index.Search(q, 3) {
 			fmt.Printf("  %d. %s (score %.2f)\n", i+1, hit.URL, hit.Score)
 		}
 	}

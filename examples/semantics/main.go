@@ -1,6 +1,7 @@
-// Semantic services (§6): crawl a synthetic web, aggregate its HTML
-// tables, and exercise the four services — synonyms, schema
-// auto-complete, attribute values, entity properties — over HTTP.
+// Semantic services (§6): crawl a synthetic web through the engine
+// façade, aggregate its HTML tables, and exercise the four services —
+// synonyms, schema auto-complete, attribute values, entity properties —
+// over HTTP.
 //
 //	go run ./examples/semantics
 package main
@@ -12,31 +13,23 @@ import (
 	"log"
 	"net/http/httptest"
 
-	"deepweb/internal/semserv"
+	"deepweb/internal/engine"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webtables"
-	"deepweb/internal/webx"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: 42, SitesPerDom: 2, RowsPerSite: 120})
+	e, err := engine.Build(webgen.WorldConfig{Seed: 42, SitesPerDom: 2, RowsPerSite: 120})
 	if err != nil {
 		log.Fatal(err)
 	}
-	c := &webx.Crawler{Fetcher: webx.NewFetcher(web), FollowQuery: true, MaxPages: 5000}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
-	raw := webtables.ExtractFromPages(pages)
-	good := webtables.QualityFilter(raw)
-	acs := webtables.BuildACSDb(good)
-	vals := webtables.NewValueStore()
-	vals.AddTables(good)
+	sem := e.BuildSemantics(5000)
 	fmt.Printf("crawled %d pages → %d relational tables, %d distinct attributes\n\n",
-		len(pages), len(good), len(acs.Freq))
+		sem.PagesCrawled, len(sem.Tables), len(sem.ACS.Freq))
 
 	// Serve the semantic server and query it like a client would.
-	srv := httptest.NewServer(semserv.New(acs, vals, good))
+	srv := httptest.NewServer(sem.Server())
 	defer srv.Close()
 
 	show := func(path string) {

@@ -25,6 +25,9 @@ func main() {
 			log.Fatal(err)
 		}
 		web.AddSite(site)
+		// This example compares the analysis stage alone (no ingestion),
+		// so it drives the core surfacer directly rather than the engine
+		// pipeline — surfacing + fetching every URL would be wasted work.
 		s := core.NewSurfacer(webx.NewFetcher(web), cfg)
 		res, err := s.SurfaceSite(site.HomeURL())
 		if err != nil {

@@ -9,31 +9,23 @@ package main
 import (
 	"fmt"
 	"log"
-	"net/url"
 
-	"deepweb/internal/form"
+	"deepweb/internal/engine"
 	"deepweb/internal/virtual"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webx"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: 11, SitesPerDom: 3, RowsPerSite: 200})
+	e, err := engine.Build(webgen.WorldConfig{Seed: 11, SitesPerDom: 3, RowsPerSite: 200})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fetch := webx.NewFetcher(web)
-	m := virtual.NewMediator(fetch)
+	m := virtual.NewMediator(e.Fetch)
 	registered := 0
-	for _, site := range web.Sites() {
-		page, err := fetch.Get(site.FormURL())
-		if err != nil {
-			continue
-		}
-		base, _ := url.Parse(page.URL)
-		f, err := form.FromDecl(base, page.Forms()[0], 0)
+	for _, site := range e.Web.Sites() {
+		f, err := engine.FormOf(e.Fetch, site)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,3 @@
+module deepweb
+
+go 1.24

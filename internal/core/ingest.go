@@ -14,6 +14,19 @@ import (
 // deep-web-specific bit is the Source attribution carried for impact
 // accounting; ranking never sees it.
 
+// DocSink is where ingestion delivers documents. *index.Index satisfies
+// it directly; the engine's concurrent pipeline substitutes a buffering
+// sink so fetched documents can be committed — and doc ids assigned — at
+// a single ordered point regardless of worker interleaving.
+type DocSink interface {
+	// Has reports whether the URL is already present (ingestion skips it).
+	Has(url string) bool
+	// Add inserts a document, returning its id and whether it was new.
+	Add(d index.Doc) (id int, added bool)
+	// Annotate attaches surfacing-time annotations to an added document.
+	Annotate(docID int, anns map[string]string)
+}
+
 // IngestStats reports one ingestion run.
 type IngestStats struct {
 	Fetched   int // URLs fetched (including paging continuations)
@@ -45,14 +58,14 @@ func (fl IngestFilter) admits(items int) bool {
 // with the given source attribution. followNext > 0 additionally walks
 // up to that many "next page" continuations per URL — the index-refresh
 // crawling the paper says discovers more content over time.
-func IngestURLs(f *webx.Fetcher, ix *index.Index, source string, urls []string, followNext int) IngestStats {
+func IngestURLs(f *webx.Fetcher, ix DocSink, source string, urls []string, followNext int) IngestStats {
 	return IngestURLsFiltered(f, ix, source, urls, followNext, IngestFilter{})
 }
 
 // IngestURLsFiltered is IngestURLs with the §5.2 admission criterion
 // applied per fetched page ("the pages we extract should neither have
 // too many results on a single surfaced page nor too few").
-func IngestURLsFiltered(f *webx.Fetcher, ix *index.Index, source string, urls []string, followNext int, filt IngestFilter) IngestStats {
+func IngestURLsFiltered(f *webx.Fetcher, ix DocSink, source string, urls []string, followNext int, filt IngestFilter) IngestStats {
 	var st IngestStats
 	for _, u := range urls {
 		st.ingestOne(f, ix, source, u, followNext, filt)
@@ -60,7 +73,7 @@ func IngestURLsFiltered(f *webx.Fetcher, ix *index.Index, source string, urls []
 	return st
 }
 
-func (st *IngestStats) ingestOne(f *webx.Fetcher, ix *index.Index, source, u string, followNext int, filt IngestFilter) {
+func (st *IngestStats) ingestOne(f *webx.Fetcher, ix DocSink, source, u string, followNext int, filt IngestFilter) {
 	cur := u
 	for hop := 0; ; hop++ {
 		if ix.Has(cur) {

@@ -1,0 +1,100 @@
+// Package dist is the small distribution toolbox behind the workload
+// model and the experiments' statistics: Zipf weight vectors and their
+// cumulative shares (the long-tail arithmetic of E1), a seeded
+// inverse-CDF Zipf sampler, and percentiles. The sampler exists because
+// math/rand's Zipf requires exponent s > 1, while the traffic skew the
+// paper implies calibrates to s < 1.
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ZipfWeights returns the unnormalized Zipf weight of each rank:
+// weight[i] = 1/(i+1)^s, descending by construction.
+func ZipfWeights(s float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Pow(float64(i+1), -s)
+	}
+	return out
+}
+
+// CumulativeShare returns, for each k in tops, the fraction of total
+// weight held by the k heaviest entries. Weights need not be sorted;
+// "top k" means by weight, so observed (noisy) impact counts and
+// analytic rank-ordered weights are treated uniformly.
+func CumulativeShare(weights []float64, tops []int) []float64 {
+	sorted := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var total float64
+	prefix := make([]float64, len(sorted)+1)
+	for i, w := range sorted {
+		total += w
+		prefix[i+1] = total
+	}
+	out := make([]float64, len(tops))
+	for i, k := range tops {
+		if k < 0 {
+			k = 0
+		}
+		if k > len(sorted) {
+			k = len(sorted)
+		}
+		if total > 0 {
+			out[i] = prefix[k] / total
+		}
+	}
+	return out
+}
+
+// Zipf draws ranks from a Zipf distribution by inverse-CDF lookup.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64 // cdf[i] = cumulative weight through rank i
+}
+
+// NewZipf returns a sampler over ranks [0, n) with exponent s, seeded
+// deterministically. Any s > 0 is valid.
+func NewZipf(seed int64, s float64, n uint64) *Zipf {
+	w := ZipfWeights(s, int(n))
+	cdf := make([]float64, len(w))
+	var total float64
+	for i, x := range w {
+		total += x
+		cdf[i] = total
+	}
+	return &Zipf{rng: rand.New(rand.NewSource(seed)), cdf: cdf}
+}
+
+// Next draws one rank; rank 0 is the heaviest.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64() * z.cdf[len(z.cdf)-1]
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs by linear
+// interpolation between order statistics; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

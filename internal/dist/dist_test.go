@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfWeightsShape(t *testing.T) {
+	w := ZipfWeights(0.8, 100)
+	if len(w) != 100 || w[0] != 1 {
+		t.Fatalf("bad head: len=%d w0=%v", len(w), w[0])
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] || w[i] <= 0 {
+			t.Fatalf("not strictly decreasing positive at %d: %v vs %v", i, w[i], w[i-1])
+		}
+	}
+}
+
+func TestCumulativeShare(t *testing.T) {
+	shares := CumulativeShare([]float64{1, 2, 3, 4}, []int{0, 1, 4, 9})
+	want := []float64{0, 0.4, 1, 1}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-12 {
+			t.Errorf("share[%d] = %v, want %v", i, shares[i], want[i])
+		}
+	}
+	// Unsorted input: "top k" is by weight, not position.
+	if s := CumulativeShare([]float64{1, 9}, []int{1})[0]; s != 0.9 {
+		t.Errorf("top-1 of unsorted = %v, want 0.9", s)
+	}
+}
+
+// The sampler must reproduce the analytic distribution it was built
+// from — including exponents below 1, where math/rand's Zipf gives up.
+func TestZipfSamplerMatchesAnalytic(t *testing.T) {
+	const n, draws = 1000, 200000
+	s := 0.7
+	z := NewZipf(1, s, n)
+	counts := make([]float64, n)
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	analytic := CumulativeShare(ZipfWeights(s, n), []int{50, 500})
+	sampled := CumulativeShare(counts, []int{50, 500})
+	for i := range analytic {
+		if math.Abs(analytic[i]-sampled[i]) > 0.02 {
+			t.Errorf("share %d: sampled %.3f vs analytic %.3f", i, sampled[i], analytic[i])
+		}
+	}
+}
+
+func TestZipfSamplerDeterministic(t *testing.T) {
+	a, b := NewZipf(7, 1.1, 50), NewZipf(7, 1.1, 50)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1. / 3, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}

@@ -1,0 +1,265 @@
+// Package engine is the orchestration layer: one façade over the whole
+// surfacing stack (webgen world → webx fetching → core analysis/probing
+// → index ingestion) so binaries, examples and experiments stop
+// hand-rolling the same wiring.
+//
+// Its centerpiece is a staged, bounded-concurrency surfacing pipeline.
+// The paper's system is explicitly an offline, web-scale process —
+// millions of forms analyzed and probed — so each site flows through
+//
+//	discovery → form analysis/probing → URL generation → fetch → ingest
+//
+// on a pool of Workers goroutines, one site per worker at a time. All
+// stages up to and including fetch parallelize freely (each site talks
+// only to its own host); ingestion commits at a single ordered point,
+// in site order, so document ids, index contents and every experiment
+// metric are identical whatever the worker count or interleaving.
+package engine
+
+import (
+	"fmt"
+	"net/url"
+	"sync"
+
+	"deepweb/internal/core"
+	"deepweb/internal/coverage"
+	"deepweb/internal/form"
+	"deepweb/internal/index"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webx"
+)
+
+// Engine bundles a virtual internet with the machinery every caller
+// needs: a fetcher, a search index, and per-site surfacing results.
+type Engine struct {
+	Web   *webgen.Web
+	Fetch *webx.Fetcher
+	Index *index.Index
+
+	// Workers bounds how many sites SurfaceAll analyzes, probes and
+	// fetches concurrently. 0 or 1 runs sequentially. Results are
+	// identical for every value; Workers only buys wall-clock.
+	Workers int
+
+	// Results holds each site's surfacing outcome, keyed by host.
+	Results map[string]*core.Result
+	// OfflineRequests is each host's request count during surfacing
+	// analysis + ingestion — the one-time "off-line analysis" load.
+	OfflineRequests map[string]int
+	// IngestStats aggregates ingestion accounting per host.
+	IngestStats map[string]core.IngestStats
+}
+
+// DefaultWorkers is the Workers value new engines start with.
+// Binaries raise it (before building worlds) to parallelize every
+// pipeline they run; results are identical either way.
+var DefaultWorkers = 1
+
+// New wraps an existing virtual internet.
+func New(web *webgen.Web) *Engine {
+	return &Engine{
+		Web:             web,
+		Fetch:           webx.NewFetcher(web),
+		Index:           index.New(),
+		Workers:         DefaultWorkers,
+		Results:         map[string]*core.Result{},
+		OfflineRequests: map[string]int{},
+		IngestStats:     map[string]core.IngestStats{},
+	}
+}
+
+// Build generates a world from the config and wraps it.
+func Build(cfg webgen.WorldConfig) (*Engine, error) {
+	web, err := webgen.BuildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return New(web), nil
+}
+
+// IndexSurfaceWeb crawls the pre-surfacing web (no query URLs) and
+// indexes it — the baseline a search engine has before deep-web
+// surfacing.
+func (e *Engine) IndexSurfaceWeb() int {
+	c := &webx.Crawler{Fetcher: e.Fetch}
+	n := 0
+	for _, p := range c.Crawl("http://" + webgen.HubHost + "/") {
+		if _, added := e.Index.Add(index.Doc{URL: p.URL, Title: p.Title(), Text: p.Text()}); added {
+			n++
+		}
+	}
+	return n
+}
+
+// SurfaceAll runs the surfacing pipeline over every site and ingests
+// the emitted URLs, attributing each document to its site's form.
+func (e *Engine) SurfaceAll(cfg core.Config, followNext int) error {
+	return e.SurfaceAllFiltered(cfg, followNext, core.IngestFilter{})
+}
+
+// siteOutcome is everything one site's pipeline pass produced, parked
+// until the ordered commit point reaches its position.
+type siteOutcome struct {
+	pos      int
+	host     string
+	res      *core.Result
+	sink     *stagedSink
+	stats    core.IngestStats
+	requests int
+	err      error
+}
+
+// SurfaceAllFiltered is SurfaceAll with the §5.2 index-admission
+// criterion applied to fetched pages.
+//
+// Concurrency contract: a site is handled end-to-end by one worker, and
+// every request it issues targets the site's own host, so per-host
+// request counts are exact. Fetched documents buffer in a stagedSink;
+// the commit loop drains outcomes in site order, assigning doc ids and
+// inserting postings. On error, sites earlier in the order are still
+// committed (matching sequential semantics) and the first error in site
+// order is returned.
+func (e *Engine) SurfaceAllFiltered(cfg core.Config, followNext int, filt core.IngestFilter) error {
+	sites := e.Web.Sites()
+	if len(sites) == 0 {
+		return nil
+	}
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+
+	jobs := make(chan int)
+	outcomes := make(chan *siteOutcome, len(sites))
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				select {
+				case <-quit:
+					outcomes <- &siteOutcome{pos: pos, host: sites[pos].Spec.Host, err: errCancelled}
+				default:
+					out := e.surfaceOne(sites[pos], cfg, followNext, filt)
+					out.pos = pos
+					outcomes <- out
+				}
+			}
+		}()
+	}
+	go func() {
+		for pos := range sites {
+			jobs <- pos
+		}
+		close(jobs)
+	}()
+
+	// Ordered commit: park outcomes until their position is next.
+	parked := make(map[int]*siteOutcome, len(sites))
+	next := 0
+	var firstErr error
+	for received := 0; received < len(sites); received++ {
+		o := <-outcomes
+		parked[o.pos] = o
+		for out, ok := parked[next]; ok; out, ok = parked[next] {
+			delete(parked, next)
+			next++
+			if firstErr != nil {
+				continue
+			}
+			if out.err != nil {
+				firstErr = fmt.Errorf("surface %s: %w", out.host, out.err)
+				quitOnce.Do(func() { close(quit) })
+				continue
+			}
+			e.Results[out.host] = out.res
+			out.stats.Indexed = out.sink.commit()
+			e.IngestStats[out.host] = out.stats
+			e.OfflineRequests[out.host] = out.requests
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// errCancelled marks sites skipped after an earlier site (in commit
+// order) failed; it is never returned to callers.
+var errCancelled = fmt.Errorf("engine: cancelled")
+
+// surfaceOne runs the per-site stages: discovery + form analysis +
+// probing + URL generation (core.Surfacer), then fetch of every emitted
+// URL into a buffering sink. No shared index state is written.
+func (e *Engine) surfaceOne(site *webgen.Site, cfg core.Config, followNext int, filt core.IngestFilter) *siteOutcome {
+	host := site.Spec.Host
+	before := e.Web.Requests(host)
+	s := core.NewSurfacer(e.Fetch, cfg)
+	res, err := s.SurfaceSite(site.HomeURL())
+	if err != nil {
+		return &siteOutcome{host: host, err: err}
+	}
+	source := host
+	if res.Analysis.Form != nil {
+		source = res.Analysis.Form.ID
+	}
+	sink := newStagedSink(e.Index)
+	stats := core.IngestURLsFiltered(e.Fetch, sink, source, res.URLs, followNext, filt)
+	return &siteOutcome{
+		host:     host,
+		res:      res,
+		sink:     sink,
+		stats:    stats,
+		requests: e.Web.Requests(host) - before,
+	}
+}
+
+// SiteCoverage returns ground-truth coverage of one surfaced site.
+func (e *Engine) SiteCoverage(host string) coverage.Exact {
+	site := e.Web.Site(host)
+	res := e.Results[host]
+	if site == nil || res == nil {
+		return coverage.Exact{}
+	}
+	return coverage.ExactOf(site, res.URLs)
+}
+
+// MeanCoverage averages exact coverage over surfaceable (GET) sites.
+func (e *Engine) MeanCoverage() float64 {
+	var sum float64
+	n := 0
+	for _, site := range e.Web.Sites() {
+		if site.Spec.Method != "get" {
+			continue
+		}
+		sum += e.SiteCoverage(site.Spec.Host).Fraction()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// FormOf fetches and parses a site's search form — the mediator
+// registration path shared by experiments and examples.
+func FormOf(fetch *webx.Fetcher, site *webgen.Site) (*form.Form, error) {
+	page, err := fetch.Get(site.FormURL())
+	if err != nil {
+		return nil, err
+	}
+	decls := page.Forms()
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("no form on %s", site.FormURL())
+	}
+	base, err := url.Parse(page.URL)
+	if err != nil {
+		return nil, err
+	}
+	return form.FromDecl(base, decls[0], 0)
+}

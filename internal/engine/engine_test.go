@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"deepweb/internal/core"
+	"deepweb/internal/webgen"
+)
+
+// buildEngine surfaces a fresh multi-site world with the given worker
+// count. Each call regenerates the world from the same seed so the two
+// arms share nothing.
+func buildEngine(t testing.TB, workers int) *Engine {
+	t.Helper()
+	e, err := Build(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = workers
+	if n := e.IndexSurfaceWeb(); n == 0 {
+		t.Fatal("surface-web crawl indexed nothing")
+	}
+	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The acceptance bar of this refactor: parallel surfacing must be
+// bit-identical to sequential — same document set, same doc-id order,
+// same search results, same experiment metrics. Run with -race.
+func TestSurfaceAllDeterministicAcrossWorkers(t *testing.T) {
+	seq := buildEngine(t, 1)
+	par := buildEngine(t, 4)
+
+	if len(seq.Web.Sites()) < 8 {
+		t.Fatalf("world too small to exercise the pool: %d sites", len(seq.Web.Sites()))
+	}
+
+	// Identical index contents in identical doc-id order.
+	if seq.Index.Len() != par.Index.Len() {
+		t.Fatalf("index sizes differ: %d vs %d", seq.Index.Len(), par.Index.Len())
+	}
+	for id := 0; id < seq.Index.Len(); id++ {
+		a, b := seq.Index.Doc(id), par.Index.Doc(id)
+		if a != b {
+			t.Fatalf("doc %d differs:\n  seq %+v\n  par %+v", id, a, b)
+		}
+		if !reflect.DeepEqual(seq.Index.AnnotationsOf(id), par.Index.AnnotationsOf(id)) {
+			t.Fatalf("annotations of doc %d differ", id)
+		}
+	}
+
+	// Identical experiment metrics.
+	if !reflect.DeepEqual(seq.OfflineRequests, par.OfflineRequests) {
+		t.Errorf("offline request counts differ:\n  seq %v\n  par %v", seq.OfflineRequests, par.OfflineRequests)
+	}
+	if !reflect.DeepEqual(seq.IngestStats, par.IngestStats) {
+		t.Errorf("ingest stats differ:\n  seq %v\n  par %v", seq.IngestStats, par.IngestStats)
+	}
+	if a, b := seq.MeanCoverage(), par.MeanCoverage(); a != b {
+		t.Errorf("mean coverage differs: %v vs %v", a, b)
+	}
+	if a, b := seq.Index.DocsBySource(), par.Index.DocsBySource(); !reflect.DeepEqual(a, b) {
+		t.Errorf("per-source doc counts differ:\n  seq %v\n  par %v", a, b)
+	}
+	for host, sres := range seq.Results {
+		pres := par.Results[host]
+		if pres == nil {
+			t.Fatalf("host %s missing from parallel results", host)
+		}
+		if !reflect.DeepEqual(sres.URLs, pres.URLs) {
+			t.Errorf("%s: surfaced URL lists differ (%d vs %d)", host, len(sres.URLs), len(pres.URLs))
+		}
+		if sres.ProbesUsed != pres.ProbesUsed {
+			t.Errorf("%s: probes used differ: %d vs %d", host, sres.ProbesUsed, pres.ProbesUsed)
+		}
+	}
+
+	// Identical ranked results, plain and annotated.
+	for _, q := range []string{
+		"used ford focus", "homes in seattle", "nurse jobs",
+		"history books", "thai recipes", "turing award professor",
+	} {
+		if a, b := seq.Index.Search(q, 10), par.Index.Search(q, 10); !reflect.DeepEqual(a, b) {
+			t.Errorf("Search(%q) differs:\n  seq %v\n  par %v", q, a, b)
+		}
+		if a, b := seq.Index.AnnotatedSearch(q, 10), par.Index.AnnotatedSearch(q, 10); !reflect.DeepEqual(a, b) {
+			t.Errorf("AnnotatedSearch(%q) differs", q)
+		}
+	}
+}
+
+// Worker counts beyond the site count, and the Workers=0 default, are
+// clamped rather than misbehaving.
+func TestSurfaceAllWorkerClamping(t *testing.T) {
+	for _, workers := range []int{0, 64} {
+		e, err := Build(webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = workers
+		if err := e.SurfaceAll(core.DefaultConfig(), 0); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(e.Results) != len(e.Web.Sites()) {
+			t.Errorf("workers=%d: %d results for %d sites", workers, len(e.Results), len(e.Web.Sites()))
+		}
+	}
+}
+
+// An empty world is a no-op, not a hang.
+func TestSurfaceAllEmptyWorld(t *testing.T) {
+	e := New(webgen.NewWeb())
+	e.Workers = 4
+	if err := e.SurfaceAll(core.DefaultConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Index.Len() != 0 {
+		t.Error("empty world indexed documents")
+	}
+}
+
+// The filtered variant applies the §5.2 admission band at fetch time
+// in the workers (rejected pages never reach the sink), and the
+// per-host stats surface it.
+func TestSurfaceAllFilteredRejects(t *testing.T) {
+	run := func(filt core.IngestFilter) (indexed, rejected int) {
+		e, err := Build(webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = 4
+		if err := e.SurfaceAllFiltered(core.DefaultConfig(), 0, filt); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range e.IngestStats {
+			indexed += st.Indexed
+			rejected += st.Rejected
+		}
+		return indexed, rejected
+	}
+	plainIndexed, plainRejected := run(core.IngestFilter{})
+	bandIndexed, bandRejected := run(core.IngestFilter{MinItems: 1, MaxItems: 3})
+	if plainRejected != 0 {
+		t.Errorf("unfiltered run rejected %d pages", plainRejected)
+	}
+	if bandRejected == 0 || bandIndexed >= plainIndexed {
+		t.Errorf("admission band had no effect: indexed %d vs %d, rejected %d",
+			bandIndexed, plainIndexed, bandRejected)
+	}
+}
+
+// BuildSemantics produces working stores behind the façade.
+func TestBuildSemantics(t *testing.T) {
+	e, err := Build(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := e.BuildSemantics(2000)
+	if sem.PagesCrawled == 0 || len(sem.Tables) == 0 {
+		t.Fatalf("semantic crawl found nothing: %+v", sem)
+	}
+	if len(sem.Tables) > sem.RawTables {
+		t.Fatalf("quality filter grew the table set: %d > %d", len(sem.Tables), sem.RawTables)
+	}
+	if sem.ACS == nil || sem.ACS.Schemas == 0 {
+		t.Error("ACSDb empty")
+	}
+	if sem.Server() == nil {
+		t.Error("no server")
+	}
+}
+
+// FormOf parses the form of every GET site.
+func TestFormOf(t *testing.T) {
+	e, err := Build(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range e.Web.Sites() {
+		f, err := FormOf(e.Fetch, site)
+		if err != nil {
+			t.Fatalf("%s: %v", site.Spec.Host, err)
+		}
+		if f == nil || len(f.Inputs) == 0 {
+			t.Errorf("%s: degenerate form %+v", site.Spec.Host, f)
+		}
+	}
+}
+
+func ExampleEngine_SurfaceAll() {
+	e, err := Build(webgen.WorldConfig{Seed: 42, SitesPerDom: 1, RowsPerSite: 30})
+	if err != nil {
+		panic(err)
+	}
+	e.Workers = 4
+	e.IndexSurfaceWeb()
+	if err := e.SurfaceAll(core.DefaultConfig(), 1); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(e.Results) == len(e.Web.Sites()))
+	// Output: true
+}

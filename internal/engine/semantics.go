@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"deepweb/internal/semserv"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webtables"
+	"deepweb/internal/webx"
+)
+
+// SemanticStore is the §6 aggregate-semantics side of the façade: the
+// stores built by deep-crawling the world and pooling its HTML tables.
+type SemanticStore struct {
+	PagesCrawled int
+	RawTables    int
+	// Tables is the quality-filtered relational subset.
+	Tables []webtables.RawTable
+	ACS    *webtables.ACSDb
+	Values *webtables.ValueStore
+}
+
+// BuildSemantics deep-crawls the world — following query links so
+// record pages (with tables) are reached, the post-surfacing state of
+// the index — and aggregates every HTML table into an ACSDb and a value
+// store. maxPages bounds the crawl (0 = unlimited).
+func (e *Engine) BuildSemantics(maxPages int) *SemanticStore {
+	c := &webx.Crawler{Fetcher: e.Fetch, FollowQuery: true, MaxPages: maxPages}
+	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	raw := webtables.ExtractFromPages(pages)
+	good := webtables.QualityFilter(raw)
+	vals := webtables.NewValueStore()
+	vals.AddTables(good)
+	return &SemanticStore{
+		PagesCrawled: len(pages),
+		RawTables:    len(raw),
+		Tables:       good,
+		ACS:          webtables.BuildACSDb(good),
+		Values:       vals,
+	}
+}
+
+// Server wraps the store in the four-service HTTP server (§6).
+func (s *SemanticStore) Server() *semserv.Server {
+	return semserv.New(s.ACS, s.Values, s.Tables)
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"deepweb/internal/core"
+	"deepweb/internal/engine"
 	"deepweb/internal/virtual"
 	"deepweb/internal/webgen"
 	webxpkg "deepweb/internal/webx"
@@ -98,7 +99,7 @@ func E2SiteLoad(seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
 	// Build the mediator over the same forms.
 	m := virtual.NewMediator(w.Fetch)
 	for _, site := range w.Web.Sites() {
-		f, err := formOf(w.Fetch, site)
+		f, err := engine.FormOf(w.Fetch, site)
 		if err != nil {
 			continue
 		}
@@ -159,7 +160,7 @@ func E3Fortuitous(seed int64, rows int) (E3Report, error) {
 	}
 	m := virtual.NewMediator(w.Fetch)
 	for _, site := range w.Web.Sites() {
-		if f, err := formOf(w.Fetch, site); err == nil {
+		if f, err := engine.FormOf(w.Fetch, site); err == nil {
 			m.Register(f)
 		}
 	}

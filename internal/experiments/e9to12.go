@@ -7,10 +7,10 @@ import (
 	"deepweb/internal/core"
 	"deepweb/internal/coverage"
 	"deepweb/internal/dist"
+	"deepweb/internal/engine"
 	"deepweb/internal/index"
 	"deepweb/internal/virtual"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webtables"
 	webxpkg "deepweb/internal/webx"
 )
 
@@ -181,20 +181,15 @@ func E11Semantics(seed int64, sitesPerDom, rows int) (E11Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	// Deep crawl: follow query links so record pages (with tables) are
-	// reached — the post-surfacing state of the index.
-	c := &webxpkg.Crawler{Fetcher: w.Fetch, FollowQuery: true, MaxPages: 4000}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
-	rep.PagesCrawled = len(pages)
-
-	raw := webtables.ExtractFromPages(pages)
-	rep.RawTables = len(raw)
-	good := webtables.QualityFilter(raw)
-	rep.GoodTables = len(good)
-	acs := webtables.BuildACSDb(good)
+	// Deep crawl through the engine façade: follow query links so record
+	// pages (with tables) are reached — the post-surfacing state of the
+	// index.
+	sem := w.BuildSemantics(4000)
+	rep.PagesCrawled = sem.PagesCrawled
+	rep.RawTables = sem.RawTables
+	rep.GoodTables = len(sem.Tables)
+	acs, vals := sem.ACS, sem.Values
 	rep.Schemas = acs.Schemas
-	vals := webtables.NewValueStore()
-	vals.AddTables(good)
 
 	// Synonym service vs planted alias pairs.
 	for _, pair := range webgen.AliasPairs() {
@@ -309,7 +304,7 @@ func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, err
 			rep.PostRecords += site.Table.Len()
 			postHosts = append(postHosts, site.Spec.Host)
 		}
-		if f, err := formOf(w.Fetch, site); err == nil {
+		if f, err := engine.FormOf(w.Fetch, site); err == nil {
 			m.Register(f)
 		}
 	}

@@ -3,6 +3,9 @@
 // experiment returns a typed report whose String() prints the paper's
 // figure next to the measured one; cmd/experiments runs them all and
 // bench_test.go wraps each in a benchmark.
+//
+// Orchestration — world building, surfacing, ingestion — lives in
+// internal/engine; this package only measures.
 package experiments
 
 import (
@@ -10,104 +13,18 @@ import (
 	"net/url"
 	"strings"
 
-	"deepweb/internal/core"
-	"deepweb/internal/coverage"
-	"deepweb/internal/form"
-	"deepweb/internal/index"
+	"deepweb/internal/engine"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webx"
 )
 
-// World bundles a generated virtual internet with the machinery every
-// experiment needs: a fetcher, a search index, and per-site surfacing
-// results.
-type World struct {
-	Web   *webgen.Web
-	Fetch *webx.Fetcher
-	Index *index.Index
-	// Results holds each site's surfacing outcome, keyed by host.
-	Results map[string]*core.Result
-	// OfflineRequests is each host's request count during surfacing
-	// analysis + ingestion — the one-time "off-line analysis" load.
-	OfflineRequests map[string]int
-}
+// World is the per-experiment bundle of a generated virtual internet
+// with fetcher, index and per-site results. It is the engine façade
+// under its historical name.
+type World = engine.Engine
 
 // NewWorld generates a world.
 func NewWorld(cfg webgen.WorldConfig) (*World, error) {
-	web, err := webgen.BuildWorld(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &World{
-		Web:             web,
-		Fetch:           webx.NewFetcher(web),
-		Index:           index.New(),
-		Results:         map[string]*core.Result{},
-		OfflineRequests: map[string]int{},
-	}, nil
-}
-
-// IndexSurfaceWeb crawls the pre-surfacing web (no query URLs) and
-// indexes it — the baseline a search engine has before deep-web
-// surfacing.
-func (w *World) IndexSurfaceWeb() int {
-	c := &webx.Crawler{Fetcher: w.Fetch}
-	n := 0
-	for _, p := range c.Crawl("http://" + webgen.HubHost + "/") {
-		if _, added := w.Index.Add(index.Doc{URL: p.URL, Title: p.Title(), Text: p.Text()}); added {
-			n++
-		}
-	}
-	return n
-}
-
-// SurfaceAll runs the surfacing engine over every site and ingests the
-// emitted URLs, attributing each document to its site's form.
-func (w *World) SurfaceAll(cfg core.Config, followNext int) error {
-	for _, site := range w.Web.Sites() {
-		host := site.Spec.Host
-		before := w.Web.Requests(host)
-		s := core.NewSurfacer(w.Fetch, cfg)
-		res, err := s.SurfaceSite(site.HomeURL())
-		if err != nil {
-			return fmt.Errorf("surface %s: %w", host, err)
-		}
-		w.Results[host] = res
-		source := host
-		if res.Analysis.Form != nil {
-			source = res.Analysis.Form.ID
-		}
-		core.IngestURLs(w.Fetch, w.Index, source, res.URLs, followNext)
-		w.OfflineRequests[host] = w.Web.Requests(host) - before
-	}
-	return nil
-}
-
-// SiteCoverage returns ground-truth coverage of one surfaced site.
-func (w *World) SiteCoverage(host string) coverage.Exact {
-	site := w.Web.Site(host)
-	res := w.Results[host]
-	if site == nil || res == nil {
-		return coverage.Exact{}
-	}
-	return coverage.ExactOf(site, res.URLs)
-}
-
-// MeanCoverage averages exact coverage over surfaceable (GET) sites.
-func (w *World) MeanCoverage() float64 {
-	var sum float64
-	n := 0
-	for _, site := range w.Web.Sites() {
-		if site.Spec.Method != "get" {
-			continue
-		}
-		sum += w.SiteCoverage(site.Spec.Host).Fraction()
-		n++
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	return engine.Build(cfg)
 }
 
 // parseQueryOf extracts the query parameters of a surfaced URL.
@@ -117,23 +34,6 @@ func parseQueryOf(raw string) url.Values {
 		return nil
 	}
 	return u.Query()
-}
-
-// formOf fetches and parses a site's form — mediator registration path.
-func formOf(fetch *webx.Fetcher, site *webgen.Site) (*form.Form, error) {
-	page, err := fetch.Get(site.FormURL())
-	if err != nil {
-		return nil, err
-	}
-	decls := page.Forms()
-	if len(decls) == 0 {
-		return nil, fmt.Errorf("no form on %s", site.FormURL())
-	}
-	base, err := url.Parse(page.URL)
-	if err != nil {
-		return nil, err
-	}
-	return form.FromDecl(base, decls[0], 0)
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

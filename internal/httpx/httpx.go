@@ -1,0 +1,57 @@
+// Package httpx is the serving counterpart of webx: the hardened
+// http.Server wiring shared by every binary that listens — sane
+// timeouts and context-based graceful shutdown — so no command ships
+// Go's unbounded default server.
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Server returns an http.Server with production timeouts.
+func Server(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadTimeout:       5 * time.Second,
+		ReadHeaderTimeout: 2 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// Serve runs a hardened server until SIGINT/SIGTERM (or ctx ends), then
+// drains in-flight requests before returning. It returns nil on a clean
+// shutdown.
+func Serve(ctx context.Context, addr string, h http.Handler) error {
+	srv := Server(addr, h)
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down…")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,64 @@
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestServerHasTimeouts(t *testing.T) {
+	srv := Server(":0", http.NewServeMux())
+	if srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.ReadHeaderTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Errorf("default-ish server escaped: %+v", srv)
+	}
+}
+
+// Serve must answer requests and return nil on a context-driven
+// graceful shutdown.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	// Grab a free port so parallel runs cannot collide.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, addr, mux) }()
+
+	// Wait for the listener, then exercise it.
+	var body string
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + addr + "/ping")
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body = string(b)
+		break
+	}
+	if body != "pong" {
+		t.Fatalf("no response from server: %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+}

@@ -5,9 +5,19 @@
 // approach's architectural bet. Attribution (which form produced which
 // document) is carried as opaque metadata so experiments can credit
 // impact back to forms (E1).
+//
+// Layout: the document table (ids, lengths, URL dedup) sits behind one
+// lock, while postings are sharded by term hash with per-shard locks, so
+// concurrent writers contend only on the brief id-assignment step and on
+// the shards their terms actually hash to. Queries merge across shards.
+// The expensive half of an insert — tokenization and term counting — is
+// exposed separately as Prepare, so a concurrent ingest pipeline can
+// analyze documents in parallel and commit them at an ordered point,
+// keeping doc-id assignment deterministic.
 package index
 
 import (
+	"hash/maphash"
 	"math"
 	"sort"
 	"sync"
@@ -37,15 +47,24 @@ type posting struct {
 	tf  int32
 }
 
-// Index is an in-memory inverted index with BM25 scoring. It is safe
-// for concurrent use.
-type Index struct {
+// shard is one slice of the term space.
+type shard struct {
 	mu       sync.RWMutex
+	postings map[string][]posting
+}
+
+// Index is an in-memory inverted index with BM25 scoring. It is safe
+// for concurrent use; a document being added becomes searchable
+// term-by-term and is fully visible once Add returns.
+type Index struct {
+	mu       sync.RWMutex // guards the document table below
 	docs     []Doc
 	lens     []int
 	byURL    map[string]int
-	postings map[string][]posting
 	totalLen int
+
+	shards []*shard
+	seed   maphash.Seed
 
 	annOnce sync.Once
 	ann     *annStore
@@ -57,37 +76,96 @@ const (
 	bm25B  = 0.75
 )
 
-// New returns an empty index.
-func New() *Index {
-	return &Index{byURL: map[string]int{}, postings: map[string][]posting{}}
+// DefaultShards is the posting-shard count used by New.
+const DefaultShards = 16
+
+// New returns an empty index with DefaultShards posting shards.
+func New() *Index { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty index with n posting shards (n < 1 is
+// treated as 1).
+func NewSharded(n int) *Index {
+	if n < 1 {
+		n = 1
+	}
+	ix := &Index{
+		byURL:  map[string]int{},
+		shards: make([]*shard, n),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range ix.shards {
+		ix.shards[i] = &shard{postings: map[string][]posting{}}
+	}
+	return ix
+}
+
+// shardFor hashes a term to its posting shard.
+func (ix *Index) shardFor(term string) *shard {
+	return ix.shards[maphash.String(ix.seed, term)%uint64(len(ix.shards))]
+}
+
+// Prepared is a tokenized document ready to commit: the expensive part
+// of an insert (tokenize, stopword, stem, count) done up front, with no
+// index lock held. Workers prepare documents concurrently; doc ids are
+// assigned only when AddPrepared runs.
+type Prepared struct {
+	doc Doc
+	tf  map[string]int32
+	dl  int // document length in terms
+}
+
+// Prepare tokenizes a document for a later AddPrepared. It touches no
+// shared state.
+func Prepare(d Doc) *Prepared {
+	// Title terms count twice: cheap field boost.
+	title := termsOf(d.Title)
+	terms := make([]string, 0, 2*len(title))
+	terms = append(terms, title...)
+	terms = append(terms, title...)
+	terms = append(terms, termsOf(d.Text)...)
+	tf := make(map[string]int32, len(terms))
+	for _, t := range terms {
+		tf[t]++
+	}
+	return &Prepared{doc: d, tf: tf, dl: len(terms)}
 }
 
 // Add indexes a document and returns its id. A URL already present is
 // not re-indexed (the crawler and the surfacer may both submit the same
 // page); the existing id is returned with added=false.
 func (ix *Index) Add(d Doc) (id int, added bool) {
+	return ix.AddPrepared(Prepare(d))
+}
+
+// AddPrepared commits a prepared document: the id is assigned under the
+// document-table lock (the ordered commit point), then postings are
+// inserted shard by shard.
+func (ix *Index) AddPrepared(p *Prepared) (id int, added bool) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if existing, ok := ix.byURL[d.URL]; ok {
+	if existing, ok := ix.byURL[p.doc.URL]; ok {
+		ix.mu.Unlock()
 		return existing, false
 	}
 	id = len(ix.docs)
-	ix.docs = append(ix.docs, d)
-	ix.byURL[d.URL] = id
+	ix.docs = append(ix.docs, p.doc)
+	ix.byURL[p.doc.URL] = id
+	ix.lens = append(ix.lens, p.dl)
+	ix.totalLen += p.dl
+	ix.mu.Unlock()
 
-	// Title terms count twice: cheap field boost.
-	terms := termsOf(d.Title)
-	terms = append(terms, termsOf(d.Title)...)
-	terms = append(terms, termsOf(d.Text)...)
-	tf := map[string]int32{}
-	for _, t := range terms {
-		tf[t]++
+	// Group the doc's terms per shard so each shard is locked once.
+	perShard := make(map[*shard][]string, len(ix.shards))
+	for t := range p.tf {
+		sh := ix.shardFor(t)
+		perShard[sh] = append(perShard[sh], t)
 	}
-	for t, f := range tf {
-		ix.postings[t] = append(ix.postings[t], posting{doc: int32(id), tf: f})
+	for sh, terms := range perShard {
+		sh.mu.Lock()
+		for _, t := range terms {
+			sh.postings[t] = append(sh.postings[t], posting{doc: int32(id), tf: p.tf[t]})
+		}
+		sh.mu.Unlock()
 	}
-	ix.lens = append(ix.lens, len(terms))
-	ix.totalLen += len(terms)
 	return id, true
 }
 
@@ -127,6 +205,16 @@ func (ix *Index) Doc(id int) Doc {
 	return ix.docs[id]
 }
 
+// plist returns the posting list for an already-normalized term. The
+// returned slice is a snapshot header: entries written before the read
+// are immutable, so it is safe to iterate after the shard lock drops.
+func (ix *Index) plist(term string) []posting {
+	sh := ix.shardFor(term)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.postings[term]
+}
+
 // DF returns the document frequency of a (raw) term after the standard
 // pipeline is applied to it.
 func (ix *Index) DF(term string) int {
@@ -134,13 +222,12 @@ func (ix *Index) DF(term string) int {
 	if len(ts) == 0 {
 		return 0
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.postings[ts[0]])
+	return len(ix.plist(ts[0]))
 }
 
-// Search returns the top-k BM25 hits for a free-text query. Ties break
-// by ascending doc id so results are deterministic.
+// Search returns the top-k BM25 hits for a free-text query, merging
+// posting lists across shards. Ties break by ascending doc id so
+// results are deterministic.
 func (ix *Index) Search(query string, k int) []Result {
 	qterms := termsOf(query)
 	if len(qterms) == 0 || k <= 0 {
@@ -163,12 +250,16 @@ func (ix *Index) Search(query string, k int) []Result {
 			continue
 		}
 		seen[t] = true
-		plist := ix.postings[t]
+		plist := ix.plist(t)
 		if len(plist) == 0 {
 			continue
 		}
 		idf := idf(n, len(plist))
 		for _, p := range plist {
+			// Postings never reference rows beyond this query's table
+			// snapshot: AddPrepared publishes the doc row under the table
+			// lock (held read-side for this whole query) before touching
+			// any shard.
 			dl := float64(ix.lens[p.doc])
 			tf := float64(p.tf)
 			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
