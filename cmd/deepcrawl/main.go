@@ -50,7 +50,7 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SITE\tURLS\tCOVERAGE\tPROBES\tTYPED\tRANGES\tDBSEL\tNOTE")
+	fmt.Fprintln(tw, "SITE\tURLS\tSETS\tCOVERAGE\tPROBES\tTYPED\tRANGES\tDBSEL\tNOTE")
 	hosts := make([]string, 0, len(e.Results))
 	for h := range e.Results {
 		hosts = append(hosts, h)
@@ -65,8 +65,10 @@ func main() {
 		}
 		cov := e.SiteCoverage(host)
 		totalDocs += len(res.URLs)
-		fmt.Fprintf(tw, "%s\t%d\t%.0f%%\t%d\t%d\t%d\t%v\t%s\n",
-			host, len(res.URLs), 100*cov.Fraction(), res.ProbesUsed,
+		// SETS: distinct ground-truth result sets the emitted URLs
+		// retrieve — how much of URLS is genuinely different content.
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f%%\t%d\t%d\t%d\t%v\t%s\n",
+			host, len(res.URLs), e.SiteDistinctSets(host), 100*cov.Fraction(), res.ProbesUsed,
 			len(res.Analysis.TypedInputs), len(res.Analysis.RangePairs),
 			res.Analysis.DBSel != nil, note)
 	}

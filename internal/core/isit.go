@@ -154,7 +154,7 @@ func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (Temp
 	}
 	sample := sampleBindings(all, s.Cfg.SampleSize)
 	var eval TemplateEval
-	sigs := map[textutil.Signature]bool{}
+	s.sigbuf = s.sigbuf[:0]
 	totalItems := 0
 	for _, b := range sample {
 		obs, ok := s.prober.probe(f, b)
@@ -162,13 +162,13 @@ func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (Temp
 			return eval, false
 		}
 		eval.Sampled++
-		sigs[obs.sig] = true
+		s.sigbuf = append(s.sigbuf, obs.sig)
 		totalItems += obs.items
 		if obs.items == 0 {
 			eval.ZeroPages++
 		}
 	}
-	eval.Distinct = len(sigs)
+	eval.Distinct = textutil.DistinctSignatures(s.sigbuf)
 	if eval.Sampled > 0 {
 		eval.AvgItems = float64(totalItems) / float64(eval.Sampled)
 	}

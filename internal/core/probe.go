@@ -75,9 +75,12 @@ func countItems(page *webx.Page) int {
 // seed keywords by selecting the words that are most characteristic of
 // the already indexed web pages from the form site").
 func SeedKeywords(pageTexts []string, n int) []string {
+	var tz textutil.Tokenizer
+	var toks []string
 	tf := textutil.TermVector{}
 	for _, t := range pageTexts {
-		for _, tok := range textutil.ContentTokens(t) {
+		toks = tz.ContentTokensInto(toks[:0], t)
+		for _, tok := range toks {
 			tf[tok]++
 		}
 	}
@@ -142,7 +145,8 @@ func (s *Surfacer) probeSearchBox(f *form.Form, inputName string, fixed form.Bin
 			}
 			if obs.items > 0 {
 				productive = append(productive, keywordInfo{kw: kw, sig: obs.sig, items: obs.items})
-				for _, tok := range textutil.ContentTokens(obs.text) {
+				s.toks = s.tz.ContentTokensInto(s.toks[:0], obs.text)
+				for _, tok := range s.toks {
 					if !tried[tok] {
 						harvest[tok]++
 					}

@@ -74,6 +74,13 @@ type Surfacer struct {
 	Fetch  *webx.Fetcher
 	Cfg    Config
 	prober *prober
+
+	// Reusable text-pipeline scratch: every result page the prober
+	// harvests keywords from is tokenized through here, so one site's
+	// whole analysis shares a single arena and intern table.
+	tz     textutil.Tokenizer
+	toks   []string
+	sigbuf []textutil.Signature
 }
 
 // NewSurfacer wires a surfacer to a fetcher.
@@ -269,7 +276,8 @@ func (s *Surfacer) dbSelectionDimension(f *form.Form, db *DBSelection) (Dimensio
 		seeds := []string{}
 		if ok && obs.items > 0 {
 			tv := textutil.TermVector{}
-			for _, tok := range textutil.ContentTokens(obs.text) {
+			s.toks = s.tz.ContentTokensInto(s.toks[:0], obs.text)
+			for _, tok := range s.toks {
 				tv[tok]++
 			}
 			for _, w := range tv.TopTerms(s.Cfg.SeedKeywords) {

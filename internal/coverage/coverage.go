@@ -13,6 +13,7 @@ import (
 	"net/url"
 	"sort"
 
+	"deepweb/internal/textutil"
 	"deepweb/internal/webgen"
 )
 
@@ -39,6 +40,21 @@ func ExactOf(site *webgen.Site, urls []string) Exact {
 		}
 	}
 	return Exact{Covered: len(rows), Total: site.Table.Len()}
+}
+
+// DistinctResultSets counts the distinct ground-truth result sets among
+// the surfaced URLs, by content signature — the oracle analogue of the
+// distinct-signature statistic the informativeness test estimates from
+// sampled probes. Empty and unparsable submissions collapse together.
+// Kept separate from ExactOf because it tokenizes every retrieved row;
+// callers that only need coverage should not pay for it.
+func DistinctResultSets(site *webgen.Site, urls []string) int {
+	sets := RowSets(site, urls)
+	sigs := make([]textutil.Signature, 0, len(sets))
+	for _, set := range sets {
+		sigs = append(sigs, site.RowSetSignature(set))
+	}
+	return textutil.DistinctSignatures(sigs)
 }
 
 // RowSets maps each URL to the ground-truth row ids it retrieves.

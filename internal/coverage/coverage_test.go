@@ -29,6 +29,15 @@ func TestExactOf(t *testing.T) {
 	if ex.Fraction() != float64(want)/100 {
 		t.Errorf("Fraction = %v", ex.Fraction())
 	}
+	// Two different makes retrieve two distinct ground-truth result
+	// sets; listing a URL twice must not add a third.
+	if got := DistinctResultSets(site, urls); got != 2 {
+		t.Errorf("DistinctResultSets = %d, want 2", got)
+	}
+	dup := append(append([]string(nil), urls...), urls[0])
+	if got := DistinctResultSets(site, dup); got != 2 {
+		t.Errorf("DistinctResultSets with duplicate URL = %d, want 2", got)
+	}
 }
 
 func TestExactOfBadURL(t *testing.T) {

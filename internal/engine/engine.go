@@ -229,6 +229,18 @@ func (e *Engine) SiteCoverage(host string) coverage.Exact {
 	return coverage.ExactOf(site, res.URLs)
 }
 
+// SiteDistinctSets counts the distinct ground-truth result sets among
+// one surfaced site's URLs — how many genuinely different pages the
+// emitted templates retrieve, per the site's oracle.
+func (e *Engine) SiteDistinctSets(host string) int {
+	site := e.Web.Site(host)
+	res := e.Results[host]
+	if site == nil || res == nil {
+		return 0
+	}
+	return coverage.DistinctResultSets(site, res.URLs)
+}
+
 // MeanCoverage averages exact coverage over surfaceable (GET) sites.
 func (e *Engine) MeanCoverage() float64 {
 	var sum float64

@@ -3,9 +3,11 @@ package engine
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"deepweb/internal/core"
+	"deepweb/internal/index"
 	"deepweb/internal/webgen"
 )
 
@@ -91,6 +93,39 @@ func TestSurfaceAllDeterministicAcrossWorkers(t *testing.T) {
 			t.Errorf("AnnotatedSearch(%q) differs", q)
 		}
 	}
+}
+
+// On a surfaced world, concurrent searches (which share the index's
+// pooled dense accumulators) must return exactly what a quiet
+// sequential search returns, query after query. Run with -race; this
+// is the engine-level guard on the accumulator rewrite.
+func TestSearchStableUnderConcurrentQueries(t *testing.T) {
+	e := buildEngine(t, 4)
+	queries := []string{
+		"used ford focus", "homes in seattle", "nurse jobs",
+		"history books", "thai recipes", "turing award professor",
+		"ford ford focus", "the of and", "zzz-no-such-term",
+	}
+	want := make([][]index.Result, len(queries))
+	for i, q := range queries {
+		want[i] = e.Index.Search(q, 10)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				qi := (g + i) % len(queries)
+				got := e.Index.Search(queries[qi], 10)
+				if !reflect.DeepEqual(got, want[qi]) {
+					t.Errorf("goroutine %d: Search(%q) diverged under concurrency", g, queries[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // Worker counts beyond the site count, and the Workers=0 default, are

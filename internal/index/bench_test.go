@@ -29,7 +29,7 @@ func BenchmarkIndexAdd(b *testing.B) {
 	}
 }
 
-func BenchmarkIndexSearch(b *testing.B) {
+func BenchmarkSearch(b *testing.B) {
 	ix := benchIndex(5000)
 	b.ReportAllocs()
 	b.ResetTimer()

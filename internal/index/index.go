@@ -6,20 +6,27 @@
 // document) is carried as opaque metadata so experiments can credit
 // impact back to forms (E1).
 //
-// Layout: the document table (ids, lengths, URL dedup) sits behind one
-// lock, while postings are sharded by term hash with per-shard locks, so
-// concurrent writers contend only on the brief id-assignment step and on
-// the shards their terms actually hash to. Queries merge across shards.
-// The expensive half of an insert — tokenization and term counting — is
-// exposed separately as Prepare, so a concurrent ingest pipeline can
-// analyze documents in parallel and commit them at an ordered point,
-// keeping doc-id assignment deterministic.
+// Layout: the document table (ids, lengths, URL dedup, per-source
+// counters) sits behind one lock, while postings are sharded by term
+// hash with per-shard locks, so concurrent writers contend only on the
+// brief id-assignment step and on the shards their terms actually hash
+// to. Queries merge across shards. The expensive half of an insert —
+// tokenization and term counting — is exposed separately as Prepare, so
+// a concurrent ingest pipeline can analyze documents in parallel and
+// commit them at an ordered point, keeping doc-id assignment
+// deterministic.
+//
+// Both halves run allocation-consciously: Prepare draws its tokenizer,
+// term buffer and counting map from a pool and emits a compact
+// term/frequency pair list; Search scores into a pooled dense
+// accumulator indexed by doc id (reset via a touched list, not a
+// sweep) and selects the top k with a bounded heap instead of sorting
+// every scored document.
 package index
 
 import (
 	"hash/maphash"
 	"math"
-	"sort"
 	"sync"
 
 	"deepweb/internal/textutil"
@@ -61,6 +68,7 @@ type Index struct {
 	docs     []Doc
 	lens     []int
 	byURL    map[string]int
+	bySource map[string]int
 	totalLen int
 
 	shards []*shard
@@ -89,9 +97,10 @@ func NewSharded(n int) *Index {
 		n = 1
 	}
 	ix := &Index{
-		byURL:  map[string]int{},
-		shards: make([]*shard, n),
-		seed:   maphash.MakeSeed(),
+		byURL:    map[string]int{},
+		bySource: map[string]int{},
+		shards:   make([]*shard, n),
+		seed:     maphash.MakeSeed(),
 	}
 	for i := range ix.shards {
 		ix.shards[i] = &shard{postings: map[string][]posting{}}
@@ -107,27 +116,59 @@ func (ix *Index) shardFor(term string) *shard {
 // Prepared is a tokenized document ready to commit: the expensive part
 // of an insert (tokenize, stopword, stem, count) done up front, with no
 // index lock held. Workers prepare documents concurrently; doc ids are
-// assigned only when AddPrepared runs.
+// assigned only when AddPrepared runs. The term list is a compact
+// parallel pair of slices — unique terms with their frequencies — so a
+// buffered document costs two allocations, not a map.
 type Prepared struct {
-	doc Doc
-	tf  map[string]int32
-	dl  int // document length in terms
+	doc   Doc
+	terms []string
+	tfs   []int32
+	dl    int // document length in terms
 }
+
+// prepScratch is the reusable state one Prepare call needs: the
+// tokenizer (with its arena and intern table), a token buffer and a
+// counting map, all recycled through prepPool so steady-state Prepare
+// allocates only the compact Prepared itself.
+type prepScratch struct {
+	tz   textutil.Tokenizer
+	toks []string
+	tf   map[string]int32
+}
+
+var prepPool = sync.Pool{New: func() any {
+	return &prepScratch{tf: make(map[string]int32, 64)}
+}}
 
 // Prepare tokenizes a document for a later AddPrepared. It touches no
 // shared state.
 func Prepare(d Doc) *Prepared {
+	ps := prepPool.Get().(*prepScratch)
 	// Title terms count twice: cheap field boost.
-	title := termsOf(d.Title)
-	terms := make([]string, 0, 2*len(title))
-	terms = append(terms, title...)
-	terms = append(terms, title...)
-	terms = append(terms, termsOf(d.Text)...)
-	tf := make(map[string]int32, len(terms))
-	for _, t := range terms {
-		tf[t]++
+	toks := ps.tz.StemmedTokensInto(ps.toks[:0], d.Title)
+	nTitle := len(toks)
+	toks = ps.tz.StemmedTokensInto(toks, d.Text)
+	clear(ps.tf)
+	for i, t := range toks {
+		if i < nTitle {
+			ps.tf[t] += 2
+		} else {
+			ps.tf[t]++
+		}
 	}
-	return &Prepared{doc: d, tf: tf, dl: len(terms)}
+	p := &Prepared{
+		doc:   d,
+		terms: make([]string, 0, len(ps.tf)),
+		tfs:   make([]int32, 0, len(ps.tf)),
+		dl:    len(toks) + nTitle,
+	}
+	for t, n := range ps.tf {
+		p.terms = append(p.terms, t)
+		p.tfs = append(p.tfs, n)
+	}
+	ps.toks = toks[:0]
+	prepPool.Put(ps)
+	return p
 }
 
 // Add indexes a document and returns its id. A URL already present is
@@ -137,9 +178,17 @@ func (ix *Index) Add(d Doc) (id int, added bool) {
 	return ix.AddPrepared(Prepare(d))
 }
 
+// addScratch carries the per-term shard assignments across the posting
+// insertion loop.
+type addScratch struct {
+	shard []uint32
+}
+
+var addPool = sync.Pool{New: func() any { return new(addScratch) }}
+
 // AddPrepared commits a prepared document: the id is assigned under the
 // document-table lock (the ordered commit point), then postings are
-// inserted shard by shard.
+// inserted shard by shard, each shard locked at most once.
 func (ix *Index) AddPrepared(p *Prepared) (id int, added bool) {
 	ix.mu.Lock()
 	if existing, ok := ix.byURL[p.doc.URL]; ok {
@@ -151,36 +200,53 @@ func (ix *Index) AddPrepared(p *Prepared) (id int, added bool) {
 	ix.byURL[p.doc.URL] = id
 	ix.lens = append(ix.lens, p.dl)
 	ix.totalLen += p.dl
+	if p.doc.Source != "" {
+		ix.bySource[p.doc.Source]++
+	}
 	ix.mu.Unlock()
 
-	// Group the doc's terms per shard so each shard is locked once.
-	perShard := make(map[*shard][]string, len(ix.shards))
-	for t := range p.tf {
-		sh := ix.shardFor(t)
-		perShard[sh] = append(perShard[sh], t)
-	}
-	for sh, terms := range perShard {
+	if len(ix.shards) == 1 {
+		sh := ix.shards[0]
 		sh.mu.Lock()
-		for _, t := range terms {
-			sh.postings[t] = append(sh.postings[t], posting{doc: int32(id), tf: p.tf[t]})
+		for i, t := range p.terms {
+			sh.postings[t] = append(sh.postings[t], posting{doc: int32(id), tf: p.tfs[i]})
 		}
 		sh.mu.Unlock()
+		return id, true
 	}
-	return id, true
-}
 
-// termsOf is the single tokenization pipeline for documents and queries:
-// tokenize, drop stopwords, stem.
-func termsOf(s string) []string {
-	toks := textutil.Tokenize(s)
-	out := toks[:0]
-	for _, t := range toks {
-		if textutil.IsStopword(t) {
+	// Assign terms to shards once, then visit only the shards hit.
+	sc := addPool.Get().(*addScratch)
+	sc.shard = sc.shard[:0]
+	var hit uint64 // bitmask of touched shards (all indexes < 64 in practice)
+	for _, t := range p.terms {
+		si := uint32(maphash.String(ix.seed, t) % uint64(len(ix.shards)))
+		sc.shard = append(sc.shard, si)
+		if si < 64 {
+			hit |= 1 << si
+		}
+	}
+	for si, sh := range ix.shards {
+		if si < 64 && hit&(1<<uint(si)) == 0 {
 			continue
 		}
-		out = append(out, textutil.Stem(t))
+		locked := false
+		for j, t := range p.terms {
+			if sc.shard[j] != uint32(si) {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			sh.postings[t] = append(sh.postings[t], posting{doc: int32(id), tf: p.tfs[j]})
+		}
+		if locked {
+			sh.mu.Unlock()
+		}
 	}
-	return out
+	addPool.Put(sc)
+	return id, true
 }
 
 // Len returns the number of documents.
@@ -218,21 +284,51 @@ func (ix *Index) plist(term string) []posting {
 // DF returns the document frequency of a (raw) term after the standard
 // pipeline is applied to it.
 func (ix *Index) DF(term string) int {
-	ts := termsOf(term)
-	if len(ts) == 0 {
-		return 0
+	sc := searchPool.Get().(*searchScratch)
+	qterms := sc.tz.StemmedTokensInto(sc.qterms[:0], term)
+	df := 0
+	if len(qterms) > 0 {
+		df = len(ix.plist(qterms[0]))
 	}
-	return len(ix.plist(ts[0]))
+	sc.qterms = qterms[:0]
+	searchPool.Put(sc)
+	return df
 }
+
+// searchScratch is the reusable state of one Search call: the query
+// tokenizer, the dense score accumulator (indexed by doc id, reset via
+// the touched list so cost tracks postings scanned, not corpus size)
+// and the bounded top-k heap.
+type searchScratch struct {
+	tz      textutil.Tokenizer
+	qterms  []string
+	scores  []float64
+	touched []int32
+	heap    []heapEntry
+}
+
+type heapEntry struct {
+	score float64
+	doc   int32
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
 // Search returns the top-k BM25 hits for a free-text query, merging
 // posting lists across shards. Ties break by ascending doc id so
 // results are deterministic.
 func (ix *Index) Search(query string, k int) []Result {
-	qterms := termsOf(query)
-	if len(qterms) == 0 || k <= 0 {
+	if k <= 0 {
 		return nil
 	}
+	sc := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(sc)
+	qterms := sc.tz.StemmedTokensInto(sc.qterms[:0], query)
+	sc.qterms = qterms[:0]
+	if len(qterms) == 0 {
+		return nil
+	}
+
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	n := len(ix.docs)
@@ -243,43 +339,126 @@ func (ix *Index) Search(query string, k int) []Result {
 	if avgdl == 0 {
 		avgdl = 1
 	}
-	scores := map[int32]float64{}
-	seen := map[string]bool{}
-	for _, t := range qterms {
-		if seen[t] {
+	if cap(sc.scores) < n {
+		sc.scores = make([]float64, n)
+	} else {
+		sc.scores = sc.scores[:n]
+	}
+	scores := sc.scores
+	touched := sc.touched[:0]
+
+	// Length-normalization constants hoisted out of the posting loops:
+	// denominator = tf + c0 + c1*dl.
+	c0 := bm25K1 * (1 - bm25B)
+	c1 := bm25K1 * bm25B / avgdl
+	for qi, t := range qterms {
+		dup := false
+		for _, prev := range qterms[:qi] {
+			if prev == t {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[t] = true
 		plist := ix.plist(t)
 		if len(plist) == 0 {
 			continue
 		}
-		idf := idf(n, len(plist))
+		w := idf(n, len(plist)) * (bm25K1 + 1)
 		for _, p := range plist {
 			// Postings never reference rows beyond this query's table
 			// snapshot: AddPrepared publishes the doc row under the table
 			// lock (held read-side for this whole query) before touching
 			// any shard.
-			dl := float64(ix.lens[p.doc])
+			s := scores[p.doc]
+			if s == 0 {
+				// BM25 contributions are strictly positive, so zero
+				// means "first touch" and doubles as the reset marker.
+				touched = append(touched, p.doc)
+			}
 			tf := float64(p.tf)
-			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
+			scores[p.doc] = s + w*tf/(tf+c0+c1*float64(ix.lens[p.doc]))
 		}
 	}
-	out := make([]Result, 0, len(scores))
-	for d, s := range scores {
-		doc := ix.docs[d]
-		out = append(out, Result{DocID: int(d), URL: doc.URL, Title: doc.Title, Source: doc.Source, Score: s})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	sc.touched = touched
+
+	// Bounded top-k selection; the heap root is the weakest kept hit.
+	h := sc.heap[:0]
+	for _, d := range touched {
+		s := scores[d]
+		scores[d] = 0 // reset while draining: accumulator is clean for reuse
+		if len(h) < k {
+			h = append(h, heapEntry{score: s, doc: d})
+			siftUp(h)
+		} else if beats(s, d, h[0]) {
+			h[0] = heapEntry{score: s, doc: d}
+			siftDown(h)
 		}
-		return out[i].DocID < out[j].DocID
-	})
-	if k < len(out) {
-		out = out[:k]
+	}
+	sc.heap = h[:0]
+
+	out := make([]Result, len(h))
+	for m := len(h); m > 0; m-- {
+		e := h[0]
+		h[0] = h[m-1]
+		h = h[:m-1]
+		siftDown(h)
+		doc := ix.docs[e.doc]
+		out[m-1] = Result{DocID: int(e.doc), URL: doc.URL, Title: doc.Title, Source: doc.Source, Score: e.score}
 	}
 	return out
+}
+
+// beats reports whether a hit with the given score and doc id ranks
+// strictly ahead of e (higher score first, then ascending doc id).
+func beats(score float64, doc int32, e heapEntry) bool {
+	if score != e.score {
+		return score > e.score
+	}
+	return doc < e.doc
+}
+
+// weaker is the heap order: the weakest hit sits at the root.
+func weaker(a, b heapEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.doc > b.doc
+}
+
+// siftUp restores the heap property after appending to h.
+func siftUp(h []heapEntry) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !weaker(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing h[0].
+func siftDown(h []heapEntry) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && weaker(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && weaker(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // idf is the BM25 idf with the +1 smoothing that keeps it positive.
@@ -287,16 +466,15 @@ func idf(n, df int) float64 {
 	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
 }
 
-// DocsBySource counts indexed documents per source attribution; used by
-// impact accounting.
+// DocsBySource reports indexed documents per source attribution; used
+// by impact accounting. The counters are maintained incrementally at
+// insert time, so this is O(sources), not O(documents).
 func (ix *Index) DocsBySource() map[string]int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := map[string]int{}
-	for _, d := range ix.docs {
-		if d.Source != "" {
-			out[d.Source]++
-		}
+	out := make(map[string]int, len(ix.bySource))
+	for s, n := range ix.bySource {
+		out[s] = n
 	}
 	return out
 }

@@ -6,6 +6,7 @@
 package semserv
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"strconv"
@@ -49,9 +50,19 @@ func kParam(r *http.Request) int {
 	return k
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v into a buffer first so an encoding failure (an
+// unmarshalable score such as NaN, for instance) can still become a 500
+// instead of a silently truncated 200, and reports the error to the
+// caller.
+func writeJSON(w http.ResponseWriter, v any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return err
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // ScoredItem is one JSON response entry.

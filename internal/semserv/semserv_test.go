@@ -2,7 +2,9 @@ package semserv
 
 import (
 	"encoding/json"
+	"math"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"deepweb/internal/webtables"
@@ -128,5 +130,37 @@ func TestTableSearchEndpoint(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != 400 {
 		t.Errorf("missing q: status %d, want 400", rec.Code)
+	}
+}
+
+// writeJSON must surface encoder failures as a 500 with an error body
+// and return the error — not swallow it behind a truncated 200.
+func TestWriteJSONReportsEncodeErrors(t *testing.T) {
+	rec := httptest.NewRecorder()
+	err := writeJSON(rec, math.NaN()) // json.UnsupportedValueError
+	if err == nil {
+		t.Fatal("writeJSON returned nil for an unencodable value")
+	}
+	if rec.Code != 500 {
+		t.Errorf("status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "encoding response") {
+		t.Errorf("body %q does not report the encode error", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); strings.Contains(ct, "application/json") {
+		t.Errorf("error response mislabeled as JSON: %q", ct)
+	}
+
+	// The happy path is unchanged: JSON body, JSON content type, nil error.
+	rec = httptest.NewRecorder()
+	if err := writeJSON(rec, []ScoredItem{{Name: "make", Score: 1}}); err != nil {
+		t.Fatalf("writeJSON(valid) = %v", err)
+	}
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("status %d content-type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var items []ScoredItem
+	if err := json.Unmarshal(rec.Body.Bytes(), &items); err != nil || len(items) != 1 {
+		t.Errorf("round-trip failed: %v %v", items, err)
 	}
 }

@@ -16,7 +16,24 @@ func BenchmarkTokenize(b *testing.B) {
 	}
 }
 
-func BenchmarkSignatureOf(b *testing.B) {
+// BenchmarkTokenizeInto is the pipeline-shaped call: one Tokenizer, one
+// reused destination buffer. This is the loop the index and the prober
+// actually run.
+func BenchmarkTokenizeInto(b *testing.B) {
+	var tz Tokenizer
+	buf := make([]string, 0, 1024)
+	b.SetBytes(int64(len(benchText)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tz.TokenizeInto(buf[:0], benchText)
+	}
+	_ = buf
+}
+
+// BenchmarkSignature fingerprints a result page — the per-probe hot
+// path of the informativeness test.
+func BenchmarkSignature(b *testing.B) {
 	b.SetBytes(int64(len(benchText)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

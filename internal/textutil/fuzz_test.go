@@ -1,0 +1,172 @@
+package textutil
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+// naiveTokenize is the reference implementation of the documented
+// tokenization contract, written for obviousness rather than speed:
+// decode runes one at a time, accumulate letter/digit runs lower-cased,
+// keep runs of 2–40 runes. The production tokenizer (byte-level ASCII
+// fast path, arena, interning) must match it on every input.
+func naiveTokenize(s string) []string {
+	var tokens []string
+	var runes []rune
+	flush := func() {
+		if len(runes) >= 2 && len(runes) <= 40 {
+			tokens = append(tokens, string(runes))
+		}
+		runes = runes[:0]
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			runes = append(runes, unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"Used Ford Focus, 1993 — $2,500!",
+		"a b cc ddd",
+		"é x café naïve Ζαγόρι",
+		"日本語データベース 検索",
+		"\xff\xfe invalid \x80 utf8",
+		"ŠKODA Octavia-2024 БМВ X5",
+		"0123456789 9876543210",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := Tokenize(s)
+		want := naiveTokenize(s)
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %q, want %q", s, got, want)
+		}
+	})
+}
+
+// Property: the production tokenizer matches the naive reference on
+// arbitrary strings (quick.Check drives different generation than the
+// fuzzer's corpus mutation, so keep both).
+func TestTokenizeMatchesNaiveReference(t *testing.T) {
+	f := func(s string) bool {
+		return reflect.DeepEqual(naiveTokenize(s), naiveOrNil(Tokenize(s)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func naiveOrNil(toks []string) []string {
+	if len(toks) == 0 {
+		return nil
+	}
+	return toks
+}
+
+// Property: ContentTokensInto equals filtering Tokenize's output, and a
+// reused buffer does not change results.
+func TestContentTokensMatchesFilteredTokenize(t *testing.T) {
+	var tz Tokenizer
+	buf := make([]string, 0, 32)
+	f := func(s string) bool {
+		var want []string
+		for _, tok := range Tokenize(s) {
+			if IsStopword(tok) || isDigits(tok) {
+				continue
+			}
+			want = append(want, tok)
+		}
+		buf = tz.ContentTokensInto(buf[:0], s)
+		return reflect.DeepEqual(naiveOrNil(buf), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SignatureOf depends only on the content-token set — sound
+// (equal sets sign equal) against a naive set-building reference, and
+// the tokens' byte lengths never leak in (rune bounds, satellite fix).
+func TestSignatureMatchesTokenSetReference(t *testing.T) {
+	setOf := func(s string) map[string]bool {
+		set := map[string]bool{}
+		for _, tok := range naiveTokenize(s) {
+			if IsStopword(tok) || isDigits(tok) {
+				continue
+			}
+			set[tok] = true
+		}
+		return set
+	}
+	f := func(a, b string) bool {
+		sameSet := reflect.DeepEqual(setOf(a), setOf(b))
+		sameSig := SignatureOf(a) == SignatureOf(b)
+		if sameSet {
+			return sameSig
+		}
+		// Different sets must almost surely differ; a 64-bit collision
+		// in a quick.Check run would be astonishing.
+		return !sameSig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The intern table caps its growth but tokenization stays correct past
+// the cap: new tokens are simply allocated per call instead of cached.
+func TestInternCapCorrectness(t *testing.T) {
+	var tz Tokenizer
+	tz.intern = make(map[string]string, maxInternEntries)
+	for i := 0; len(tz.intern) < maxInternEntries; i++ {
+		s := fmt.Sprintf("filler%d", i)
+		tz.intern[s] = s
+	}
+	got := tz.TokenizeInto(nil, "alpha beta alpha")
+	if !reflect.DeepEqual(got, []string{"alpha", "beta", "alpha"}) {
+		t.Errorf("TokenizeInto past intern cap = %v", got)
+	}
+	if len(tz.intern) != maxInternEntries {
+		t.Errorf("intern table grew past its cap: %d", len(tz.intern))
+	}
+}
+
+// A Signer's dedup table shrinks back to its baseline after
+// fingerprinting one pathological page, instead of pinning the grown
+// table (and its clear() cost) for every later signature — and the
+// shrink does not change any signature value.
+func TestSignerShrinksAfterHugeInput(t *testing.T) {
+	var sg Signer
+	sg.Reset()
+	for i := 0; i < maxRetainedSlots; i++ {
+		sg.Add(fmt.Sprintf("tok%d", i))
+	}
+	if len(sg.set.slots) <= maxRetainedSlots {
+		t.Fatalf("table did not grow past the retention cap: %d slots", len(sg.set.slots))
+	}
+	sg.Reset()
+	if len(sg.set.slots) != baseSlots {
+		t.Errorf("reset retained %d slots, want baseline %d", len(sg.set.slots), baseSlots)
+	}
+	sg.Add("honda")
+	sg.Add("civic")
+	sg.Add("honda")
+	want := SignatureOfTokens([]string{"civic", "honda"})
+	if got := sg.Sum(); got != want {
+		t.Errorf("post-shrink signature = %v, want %v", got, want)
+	}
+}

@@ -1,69 +1,197 @@
 package textutil
 
-import (
-	"hash/fnv"
-	"sort"
-)
-
 // Signature is a compact content fingerprint of a result page. The
 // surfacing engine's informativeness test (paper §3.2, algorithms in
 // Madhavan et al. PVLDB'08) distinguishes query templates by how many
 // *distinct* result pages they produce; pages differing only in
 // navigation chrome or the echoed query must collapse to the same
-// signature, so the fingerprint is computed over the sorted set of
-// content tokens rather than the raw bytes.
+// signature, so the fingerprint is computed over the *set* of content
+// tokens rather than the raw bytes: order and multiplicity are
+// discarded by construction.
 type Signature uint64
 
-// SignatureOf fingerprints the visible text of a page. Token order and
-// multiplicity are discarded: a page listing the same records in a
-// different order, or echoing the submitted query string, signs the same.
-func SignatureOf(text string) Signature {
-	toks := ContentTokens(text)
-	seen := make(map[string]struct{}, len(toks))
-	uniq := toks[:0]
-	for _, t := range toks {
-		if _, ok := seen[t]; ok {
-			continue
-		}
-		seen[t] = struct{}{}
-		uniq = append(uniq, t)
+// FNV-1a 64-bit constants, used to hash individual tokens inline (no
+// hash.Hash allocation, no Write call per token).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a[T ~string | ~[]byte](t T) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(t); i++ {
+		h ^= uint64(t[i])
+		h *= fnvPrime64
 	}
-	sort.Strings(uniq)
-	h := fnv.New64a()
-	for _, t := range uniq {
-		h.Write([]byte(t))
-		h.Write([]byte{0})
-	}
-	return Signature(h.Sum64())
+	return h
 }
 
-// SignatureOfTokens fingerprints an already-tokenized record set. Used by
-// tests and by the site generator to compute ground-truth signatures.
+// mix64 is the splitmix64 finalizer: a cheap avalanche so that summing
+// per-token hashes commutatively still mixes every input bit into every
+// output bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Signer accumulates a Signature token by token: each distinct token's
+// 64-bit hash is mixed and summed, so the result is independent of
+// token order and multiplicity with no sorting and no per-token string
+// retention. Deduplication runs over an internal open-addressing set of
+// token hashes that is reused across Reset calls. The zero value is
+// ready to use; a Signer is not safe for concurrent use.
+type Signer struct {
+	set hashSet
+	acc uint64
+}
+
+// Reset clears the accumulator for a new fingerprint.
+func (sg *Signer) Reset() {
+	sg.set.reset()
+	sg.acc = 0
+}
+
+// Add folds one token into the signature.
+func (sg *Signer) Add(token string) {
+	if h := fnv64a(token); sg.set.add(h) {
+		sg.acc += mix64(h)
+	}
+}
+
+// AddBytes is Add for a token in a transient byte buffer.
+func (sg *Signer) AddBytes(token []byte) {
+	if h := fnv64a(token); sg.set.add(h) {
+		sg.acc += mix64(h)
+	}
+}
+
+// Sum returns the signature of the tokens added since the last Reset.
+func (sg *Signer) Sum() Signature {
+	return Signature(mix64(sg.acc + uint64(sg.set.count())))
+}
+
+// SignatureOf fingerprints the visible text of a page over its content
+// tokens (stopwords and pure-digit tokens excluded). A page listing the
+// same records in a different order, or echoing the submitted query
+// string, signs the same.
+func SignatureOf(text string) Signature {
+	tz := getTokenizer()
+	sig := tz.Signature(text)
+	putTokenizer(tz)
+	return sig
+}
+
+// SignatureOfTokens fingerprints an already-tokenized record set (no
+// stopword filtering — the caller chose the tokens). Used by tests and
+// by the site generator to compute ground-truth signatures.
 func SignatureOfTokens(tokens []string) Signature {
-	uniq := make([]string, 0, len(tokens))
-	seen := make(map[string]struct{}, len(tokens))
+	tz := getTokenizer()
+	sg := &tz.signer
+	sg.Reset()
 	for _, t := range tokens {
-		if _, ok := seen[t]; ok {
-			continue
-		}
-		seen[t] = struct{}{}
-		uniq = append(uniq, t)
+		sg.Add(t)
 	}
-	sort.Strings(uniq)
-	h := fnv.New64a()
-	for _, t := range uniq {
-		h.Write([]byte(t))
-		h.Write([]byte{0})
-	}
-	return Signature(h.Sum64())
+	sig := sg.Sum()
+	putTokenizer(tz)
+	return sig
 }
 
 // DistinctSignatures counts the distinct signatures in sigs; it is the
 // quantity the informativeness test thresholds on.
 func DistinctSignatures(sigs []Signature) int {
-	set := make(map[Signature]struct{}, len(sigs))
+	var set hashSet
+	set.reset()
+	n := 0
 	for _, s := range sigs {
-		set[s] = struct{}{}
+		if set.add(uint64(s)) {
+			n++
+		}
 	}
-	return len(set)
+	return n
+}
+
+// hashSet is a small open-addressing set of uint64 hashes with linear
+// probing. Zero is handled out of band so empty slots need no metadata.
+type hashSet struct {
+	slots   []uint64
+	n       int
+	hasZero bool
+}
+
+// baseSlots is the table size a hashSet starts from (and shrinks back
+// to); maxRetainedSlots bounds what a reset keeps. Like the tokenizer's
+// intern cap, this stops one pathological page from permanently pinning
+// a huge table — and from taxing every later reset with a clear() over
+// capacity the typical page never uses.
+const (
+	baseSlots        = 128
+	maxRetainedSlots = 1 << 15
+)
+
+func (hs *hashSet) reset() {
+	if hs.slots == nil || len(hs.slots) > maxRetainedSlots {
+		hs.slots = make([]uint64, baseSlots)
+	} else {
+		clear(hs.slots)
+	}
+	hs.n = 0
+	hs.hasZero = false
+}
+
+func (hs *hashSet) count() int {
+	if hs.hasZero {
+		return hs.n + 1
+	}
+	return hs.n
+}
+
+// add inserts h and reports whether it was absent.
+func (hs *hashSet) add(h uint64) bool {
+	if len(hs.slots) == 0 {
+		hs.reset()
+	}
+	if h == 0 {
+		if hs.hasZero {
+			return false
+		}
+		hs.hasZero = true
+		return true
+	}
+	if !hs.insert(h) {
+		return false
+	}
+	if hs.n > len(hs.slots)*3/4 {
+		hs.grow()
+	}
+	return true
+}
+
+// insert places h unless present; the caller maintains the load factor.
+func (hs *hashSet) insert(h uint64) bool {
+	mask := uint64(len(hs.slots) - 1)
+	for i := mix64(h) & mask; ; i = (i + 1) & mask {
+		switch hs.slots[i] {
+		case 0:
+			hs.slots[i] = h
+			hs.n++
+			return true
+		case h:
+			return false
+		}
+	}
+}
+
+func (hs *hashSet) grow() {
+	old := hs.slots
+	hs.slots = make([]uint64, 2*len(old))
+	hs.n = 0
+	for _, h := range old {
+		if h != 0 {
+			hs.insert(h)
+		}
+	}
 }

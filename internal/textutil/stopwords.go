@@ -1,0 +1,56 @@
+package textutil
+
+// The closed set of English function words excluded from term vectors
+// and keyword candidates. It intentionally stays small: the iterative
+// prober relies on content words surviving. The set is encoded as a
+// switch rather than a map so the hot tokenization loops test
+// membership with length dispatch + constant comparisons — no hashing,
+// no map overhead, and (for the []byte instantiation) no conversion
+// allocation.
+func isStopword[T ~string | ~[]byte](t T) bool {
+	switch len(t) {
+	case 1:
+		return string(t) == "a"
+	case 2:
+		switch string(t) {
+		case "an", "as", "at", "be", "by", "do", "he", "if", "in", "is",
+			"it", "no", "of", "on", "or", "so", "to", "we":
+			return true
+		}
+	case 3:
+		switch string(t) {
+		case "all", "and", "any", "are", "but", "can", "for", "has", "its",
+			"new", "not", "one", "our", "per", "the", "two", "was", "you":
+			return true
+		}
+	case 4:
+		switch string(t) {
+		case "been", "does", "from", "have", "into", "more", "over", "than",
+			"that", "they", "this", "were", "will", "with", "your":
+			return true
+		}
+	case 5:
+		switch string(t) {
+		case "about", "other", "their", "there":
+			return true
+		}
+	}
+	return false
+}
+
+// IsStopword reports whether the (already lower-cased) token is an
+// English function word that should not be used as a probe keyword or
+// index term weight anchor.
+func IsStopword(t string) bool { return isStopword(t) }
+
+// isDigits reports whether t is a non-empty run of ASCII digits.
+// Non-ASCII digit runes intentionally do not count (they never appear
+// in the numeric fields this filter exists for).
+func isDigits[T ~string | ~[]byte](t T) bool {
+	for i := 0; i < len(t); i++ {
+		if t[i] < '0' || t[i] > '9' {
+			return false
+		}
+	}
+	return len(t) > 0
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestTokenizeBasic(t *testing.T) {
@@ -66,6 +67,27 @@ func TestStem(t *testing.T) {
 	for in, want := range cases {
 		if got := Stem(in); got != want {
 			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Stem and the pipeline's in-place stemBytes share one rule set; pin
+// the equivalence so they cannot silently diverge.
+func TestStemMatchesStemBytes(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if Stem(tok) != string(stemBytes([]byte(tok))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, tok := range []string{"cities", "glasses", "sses", "ies", "buses", "bus", "misses", "es"} {
+		if got, want := Stem(tok), string(stemBytes([]byte(tok))); got != want {
+			t.Errorf("Stem(%q) = %q, stemBytes = %q", tok, got, want)
 		}
 	}
 }
@@ -151,11 +173,11 @@ func TestDistinctSignatures(t *testing.T) {
 }
 
 // Property: tokenization output only contains runes that are letters or
-// digits, lower-cased, within the length bounds.
+// digits, lower-cased, within the length bounds (counted in runes).
 func TestTokenizePropertyWellFormed(t *testing.T) {
 	f := func(s string) bool {
 		for _, tok := range Tokenize(s) {
-			if len(tok) < 2 || len(tok) > 40 {
+			if n := utf8.RuneCountInString(tok); n < 2 || n > 40 {
 				return false
 			}
 			if tok != strings.ToLower(tok) {
@@ -166,6 +188,96 @@ func TestTokenizePropertyWellFormed(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// The 2–40 length bounds are rune counts, not byte counts: a one-rune
+// multibyte token is dropped even though it is 2+ bytes, and a 15-rune
+// CJK token is kept even though it is 45 bytes.
+func TestTokenizeBoundsCountRunes(t *testing.T) {
+	if got := Tokenize("é x"); len(got) != 0 {
+		t.Errorf("Tokenize(one-rune tokens) = %v, want empty", got)
+	}
+	cjk := strings.Repeat("日", 15) // 45 bytes, 15 runes
+	if got := Tokenize("ok " + cjk); !reflect.DeepEqual(got, []string{"ok", cjk}) {
+		t.Errorf("Tokenize = %v, want [ok %s]", got, cjk)
+	}
+	over := strings.Repeat("日", 41) // over the rune bound
+	if got := Tokenize(over + " ok"); !reflect.DeepEqual(got, []string{"ok"}) {
+		t.Errorf("Tokenize(41-rune token) = %v, want [ok]", got)
+	}
+	if got := Tokenize("café naïve"); !reflect.DeepEqual(got, []string{"café", "naïve"}) {
+		t.Errorf("Tokenize = %v, want [café naïve]", got)
+	}
+}
+
+// The ASCII fast path and the Unicode slow path agree on mixed input,
+// including case folding on both sides of the boundary.
+func TestTokenizeMixedScripts(t *testing.T) {
+	got := Tokenize("ŠKODA Octavia, Ζαγόρι-2024 БМВ")
+	want := []string{"škoda", "octavia", "ζαγόρι", "2024", "бмв"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+// TokenizeInto appends into a caller-supplied buffer without clobbering
+// what is already there, and a reused Tokenizer keeps yielding correct
+// results.
+func TestTokenizeInto(t *testing.T) {
+	var tz Tokenizer
+	buf := make([]string, 0, 8)
+	buf = append(buf, "prefix")
+	buf = tz.TokenizeInto(buf, "Ford Focus")
+	if want := []string{"prefix", "ford", "focus"}; !reflect.DeepEqual(buf, want) {
+		t.Fatalf("TokenizeInto = %v, want %v", buf, want)
+	}
+	for i := 0; i < 3; i++ {
+		out := tz.TokenizeInto(buf[:0], "honda CIVIC 1999")
+		if want := []string{"honda", "civic", "1999"}; !reflect.DeepEqual(out, want) {
+			t.Fatalf("round %d: TokenizeInto = %v, want %v", i, out, want)
+		}
+	}
+}
+
+// StemmedTokensInto is the index pipeline: stopwords dropped, stems
+// applied, digits kept.
+func TestStemmedTokensInto(t *testing.T) {
+	var tz Tokenizer
+	got := tz.StemmedTokensInto(nil, "the listings of used cars from 1993")
+	want := []string{"listing", "used", "car", "1993"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("StemmedTokensInto = %v, want %v", got, want)
+	}
+}
+
+// A Signer accumulates the same fingerprint as SignatureOfTokens, and
+// SignContent streams the same fingerprint as SignatureOf.
+func TestSignerMatchesPackageFunctions(t *testing.T) {
+	tokens := []string{"honda", "civic", "1999", "honda"}
+	var sg Signer
+	sg.Reset()
+	for _, tok := range tokens {
+		sg.Add(tok)
+	}
+	if sg.Sum() != SignatureOfTokens(tokens) {
+		t.Error("Signer sum differs from SignatureOfTokens")
+	}
+
+	text := "used Honda Civic for sale in the city of Seattle"
+	var tz Tokenizer
+	sg.Reset()
+	tz.SignContent(&sg, text)
+	if sg.Sum() != SignatureOf(text) {
+		t.Error("streamed SignContent differs from SignatureOf")
+	}
+
+	// Streaming parts must equal signing the concatenation.
+	sg.Reset()
+	tz.SignContent(&sg, "used Honda Civic")
+	tz.SignContent(&sg, "for sale in Seattle")
+	if sg.Sum() != SignatureOf("used Honda Civic for sale in Seattle") {
+		t.Error("part-wise SignContent differs from whole-text SignatureOf")
 	}
 }
 

@@ -3,108 +3,74 @@
 // filtering, light stemming, tf-idf vectors, similarity measures and
 // content signatures.
 //
-// Everything here is deterministic and allocation-conscious: the surfacing
-// engine calls Signature on every fetched result page, and the index
-// tokenizes every document it ingests.
+// Everything here is deterministic and allocation-conscious: the
+// surfacing engine fingerprints every fetched result page and the index
+// tokenizes every document it ingests, so the hot paths are built around
+// a reusable Tokenizer (byte-level scanning with an ASCII fast path, an
+// internal arena, and a token intern table) and a commutative signature
+// accumulator. The package-level functions are convenience wrappers over
+// a pooled Tokenizer; pipelines that tokenize in a loop should hold
+// their own Tokenizer and use the *Into variants with a reused
+// destination slice.
 package textutil
 
-import (
-	"strings"
-	"unicode"
-)
-
-// Tokenize splits s into lower-cased word tokens. A token is a maximal run
-// of letters or digits; everything else separates tokens. Tokens shorter
-// than 2 runes and longer than 40 runes are dropped (single letters carry
-// no retrieval signal; over-long runs are almost always markup noise).
+// Tokenize splits s into lower-cased word tokens. A token is a maximal
+// run of letters or digits; everything else separates tokens. Tokens
+// shorter than 2 runes or longer than 40 runes are dropped (single
+// characters carry no retrieval signal; over-long runs are almost
+// always markup noise).
 func Tokenize(s string) []string {
-	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			t := b.String()
-			if n := len(t); n >= 2 && n <= 40 {
-				tokens = append(tokens, t)
-			}
-			b.Reset()
-		}
-	}
-	for _, r := range s {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-		default:
-			flush()
-		}
-	}
-	flush()
-	return tokens
-}
-
-// stopwords is the closed set of English function words excluded from
-// term vectors and keyword candidates. It intentionally stays small: the
-// iterative prober relies on content words surviving.
-var stopwords = map[string]bool{
-	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
-	"be": true, "but": true, "by": true, "for": true, "from": true,
-	"has": true, "have": true, "he": true, "in": true, "is": true,
-	"it": true, "its": true, "of": true, "on": true, "or": true,
-	"that": true, "the": true, "this": true, "to": true, "was": true,
-	"were": true, "will": true, "with": true, "we": true, "you": true,
-	"your": true, "our": true, "all": true, "any": true, "can": true,
-	"not": true, "no": true, "if": true, "so": true, "do": true,
-	"does": true, "their": true, "there": true, "they": true, "been": true,
-	"more": true, "other": true, "new": true, "one": true, "two": true,
-	"about": true, "into": true, "over": true, "per": true, "than": true,
-}
-
-// IsStopword reports whether the (already lower-cased) token is an English
-// function word that should not be used as a probe keyword or index term
-// weight anchor.
-func IsStopword(t string) bool { return stopwords[t] }
-
-// ContentTokens tokenizes s and removes stopwords and pure-digit tokens.
-// It is the candidate pool used for seed-keyword extraction.
-func ContentTokens(s string) []string {
-	toks := Tokenize(s)
-	out := toks[:0]
-	for _, t := range toks {
-		if IsStopword(t) || isDigits(t) {
-			continue
-		}
-		out = append(out, t)
-	}
+	tz := getTokenizer()
+	out := tz.TokenizeInto(nil, s)
+	putTokenizer(tz)
 	return out
 }
 
-func isDigits(s string) bool {
-	for _, r := range s {
-		if r < '0' || r > '9' {
-			return false
-		}
-	}
-	return len(s) > 0
+// ContentTokens tokenizes s and removes stopwords and pure-digit
+// tokens. It is the candidate pool used for seed-keyword extraction.
+func ContentTokens(s string) []string {
+	tz := getTokenizer()
+	out := tz.ContentTokensInto(nil, s)
+	putTokenizer(tz)
+	return out
 }
 
-// Stem applies a deliberately light suffix-stripping stem: plural -s/-es,
-// -ies→y, -ing and -ed with a guard on stem length. It trades linguistic
-// fidelity for predictability; the index only needs plural/verb-form
-// conflation, and an aggressive stemmer would merge probe keywords the
-// surfacing engine must keep distinct.
+// Stem applies a deliberately light suffix-stripping stem: plural
+// -s/-es, -ies→y, -ing and -ed with a guard on stem length. It trades
+// linguistic fidelity for predictability; the index only needs
+// plural/verb-form conflation, and an aggressive stemmer would merge
+// probe keywords the surfacing engine must keep distinct.
+//
+// The rules live in stemBytes (the in-place form the hot pipeline
+// uses); Stem is the convenience wrapper, so the two can never diverge.
 func Stem(t string) string {
 	n := len(t)
-	switch {
-	case n > 4 && strings.HasSuffix(t, "ies"):
+	// Only -ies rewrites a byte; handle it here so every remaining rule
+	// is a pure reslice and the result is always a prefix of t.
+	if n > 4 && t[n-3:] == "ies" {
 		return t[:n-3] + "y"
-	case n > 4 && strings.HasSuffix(t, "sses"):
+	}
+	return t[:len(stemBytes([]byte(t)))]
+}
+
+// stemBytes is the stemmer's single rule set, operating in place on a
+// token in the tokenizer arena: the -ies→y rewrite mutates the buffer
+// instead of concatenating, every other rule is a reslice.
+func stemBytes(t []byte) []byte {
+	n := len(t)
+	switch {
+	case n > 4 && string(t[n-3:]) == "ies":
+		t[n-3] = 'y'
 		return t[:n-2]
-	case n > 3 && strings.HasSuffix(t, "es") && !strings.HasSuffix(t, "ses"):
+	case n > 4 && string(t[n-4:]) == "sses":
+		return t[:n-2]
+	case n > 3 && string(t[n-2:]) == "es" && string(t[n-3:]) != "ses":
 		return t[:n-1] // "makes"→"make", keep "buses"→"buse" out via ses guard above
-	case n > 3 && strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss") && !strings.HasSuffix(t, "us"):
+	case n > 3 && t[n-1] == 's' && string(t[n-2:]) != "ss" && string(t[n-2:]) != "us":
 		return t[:n-1]
-	case n > 5 && strings.HasSuffix(t, "ing"):
+	case n > 5 && string(t[n-3:]) == "ing":
 		return t[:n-3]
-	case n > 4 && strings.HasSuffix(t, "ed"):
+	case n > 4 && string(t[n-2:]) == "ed":
 		return t[:n-2]
 	}
 	return t

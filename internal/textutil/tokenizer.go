@@ -1,0 +1,175 @@
+package textutil
+
+import (
+	"sync"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token length bounds, in runes. Single characters carry no retrieval
+// signal; over-long runs are almost always markup noise.
+const (
+	minTokenRunes = 2
+	maxTokenRunes = 40
+)
+
+// maxInternEntries bounds each Tokenizer's intern table. Real page text
+// draws from a bounded vocabulary, so the table converges; the cap only
+// guards against adversarial input (random strings) pinning memory.
+const maxInternEntries = 1 << 16
+
+// Tokenizer is the allocation-conscious core of the text pipeline. It
+// owns every piece of scratch state tokenization needs — a byte arena
+// for the token under construction, an intern table that deduplicates
+// token strings across calls, and a signature accumulator — so the hot
+// loops (tokenize every fetched page, fingerprint every probe result)
+// run without per-call heap traffic.
+//
+// The zero value is ready to use. A Tokenizer is not safe for
+// concurrent use; give each goroutine its own (they are cheap) or use
+// the package-level convenience functions, which draw from an internal
+// pool.
+type Tokenizer struct {
+	buf    []byte // arena for the token currently being scanned
+	intern map[string]string
+	signer Signer
+}
+
+// scan splits s into tokens and calls emit for each one that passes the
+// rune-length bounds. The token is lower-cased bytes in tz's arena,
+// valid only until emit returns. The loop runs byte-at-a-time with an
+// ASCII fast path; only bytes ≥ 0x80 pay for UTF-8 decoding and Unicode
+// tables.
+func (tz *Tokenizer) scan(s string, emit func(tok []byte)) {
+	buf := tz.buf[:0]
+	runes := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			i++
+			switch {
+			case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+				// Past the rune cap the token is dropped at flush anyway;
+				// stop buffering so a pathological unbroken run (base64
+				// blob, minified markup) cannot pin an arbitrarily large
+				// arena in a pooled Tokenizer.
+				if runes < maxTokenRunes {
+					buf = append(buf, c)
+				}
+				runes++
+			case c >= 'A' && c <= 'Z':
+				if runes < maxTokenRunes {
+					buf = append(buf, c+('a'-'A'))
+				}
+				runes++
+			default:
+				if runes >= minTokenRunes && runes <= maxTokenRunes {
+					emit(buf)
+				}
+				buf = buf[:0]
+				runes = 0
+			}
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		i += size
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if runes < maxTokenRunes {
+				buf = utf8.AppendRune(buf, unicode.ToLower(r))
+			}
+			runes++
+		} else if runes > 0 {
+			if runes >= minTokenRunes && runes <= maxTokenRunes {
+				emit(buf)
+			}
+			buf = buf[:0]
+			runes = 0
+		}
+	}
+	if runes >= minTokenRunes && runes <= maxTokenRunes {
+		emit(buf)
+	}
+	tz.buf = buf[:0]
+}
+
+// internToken returns tok as a string, reusing a previously allocated
+// copy when the token has been seen before. Map lookup with a
+// string(tok) key compiles without allocating; only first sightings
+// copy.
+func (tz *Tokenizer) internToken(tok []byte) string {
+	if s, ok := tz.intern[string(tok)]; ok {
+		return s
+	}
+	s := string(tok)
+	if tz.intern == nil {
+		tz.intern = make(map[string]string, 256)
+	}
+	if len(tz.intern) < maxInternEntries {
+		tz.intern[s] = s
+	}
+	return s
+}
+
+// TokenizeInto appends s's tokens to dst and returns it. Tokens are
+// maximal runs of letters or digits, lower-cased, between 2 and 40
+// runes long. dst is typically a reused buffer (dst[:0]); the appended
+// strings are interned and safe to retain.
+func (tz *Tokenizer) TokenizeInto(dst []string, s string) []string {
+	tz.scan(s, func(tok []byte) {
+		dst = append(dst, tz.internToken(tok))
+	})
+	return dst
+}
+
+// ContentTokensInto appends s's content tokens — tokens that are
+// neither stopwords nor pure ASCII digits — to dst. It is the candidate
+// pool used for seed-keyword extraction.
+func (tz *Tokenizer) ContentTokensInto(dst []string, s string) []string {
+	tz.scan(s, func(tok []byte) {
+		if isStopword(tok) || isDigits(tok) {
+			return
+		}
+		dst = append(dst, tz.internToken(tok))
+	})
+	return dst
+}
+
+// StemmedTokensInto appends the index's term pipeline — tokenize, drop
+// stopwords, stem — to dst. Stemming happens in place in the arena
+// before the token is interned.
+func (tz *Tokenizer) StemmedTokensInto(dst []string, s string) []string {
+	tz.scan(s, func(tok []byte) {
+		if isStopword(tok) {
+			return
+		}
+		dst = append(dst, tz.internToken(stemBytes(tok)))
+	})
+	return dst
+}
+
+// SignContent adds s's content tokens to an external signature
+// accumulator — the streaming form of SignatureOf, used to fingerprint
+// multi-part content (e.g. a ground-truth record set) without
+// concatenating it.
+func (tz *Tokenizer) SignContent(sg *Signer, s string) {
+	tz.scan(s, func(tok []byte) {
+		if isStopword(tok) || isDigits(tok) {
+			return
+		}
+		sg.AddBytes(tok)
+	})
+}
+
+// Signature fingerprints s's content-token set using the tokenizer's
+// internal accumulator. Equivalent to SignatureOf without pool traffic.
+func (tz *Tokenizer) Signature(s string) Signature {
+	tz.signer.Reset()
+	tz.SignContent(&tz.signer, s)
+	return tz.signer.Sum()
+}
+
+// tokenizerPool backs the package-level convenience functions.
+var tokenizerPool = sync.Pool{New: func() any { return new(Tokenizer) }}
+
+func getTokenizer() *Tokenizer   { return tokenizerPool.Get().(*Tokenizer) }
+func putTokenizer(tz *Tokenizer) { tokenizerPool.Put(tz) }

@@ -80,7 +80,7 @@ func (m *Mediator) Register(f *form.Form) (*Source, error) {
 // belongs to, most relevant first. The score combines routing-word hits
 // and value-vocabulary hits; zero-score domains are never queried.
 func (m *Mediator) Route(query string) []*Source {
-	toks := textutil.Tokenize(strings.ToLower(query))
+	toks := textutil.Tokenize(query) // Tokenize lower-cases
 	type scored struct {
 		src   *Source
 		score int
@@ -120,7 +120,7 @@ func (m *Mediator) Route(query string) []*Source {
 // exists. ok is false when nothing binds — the query is outside what
 // the schema can express (the §3.2 fortuitous-query failure mode).
 func (m *Mediator) Reformulate(query string, src *Source) (form.Binding, bool) {
-	toks := textutil.Tokenize(strings.ToLower(query))
+	toks := textutil.Tokenize(query) // Tokenize lower-cases
 	b := form.Binding{}
 	var leftover []string
 	for _, t := range toks {
@@ -180,7 +180,7 @@ func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
 		st.Unroutable = true
 		return nil, st
 	}
-	qv := textutil.NewTermVector(textutil.ContentTokens(strings.ToLower(query)))
+	qv := textutil.NewTermVector(textutil.ContentTokens(query))
 	var answers []Answer
 	for _, src := range srcs {
 		b, ok := m.Reformulate(query, src)
@@ -191,7 +191,7 @@ func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
 		recs := m.submit(src, b)
 		st.Submitted++
 		for _, rec := range recs {
-			rv := textutil.NewTermVector(textutil.ContentTokens(strings.ToLower(rec)))
+			rv := textutil.NewTermVector(textutil.ContentTokens(rec))
 			score := textutil.Cosine(qv, rv)
 			if score > 0 {
 				answers = append(answers, Answer{Site: src.Form.Site, Record: rec, Score: score})

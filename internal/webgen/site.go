@@ -9,6 +9,7 @@ import (
 
 	"deepweb/internal/htmlx"
 	"deepweb/internal/reldb"
+	"deepweb/internal/textutil"
 )
 
 // Site is one synthetic deep-web site: a spec plus its backing table.
@@ -237,6 +238,24 @@ func (s *Site) MatchingRows(params url.Values) []int {
 		return nil
 	}
 	return s.Table.Select(preds...)
+}
+
+// RowSetSignature is the ground-truth content fingerprint of a result
+// set: the signature of the content tokens of the given rows, streamed
+// through one accumulator without concatenating row texts. Like the
+// surfacer's page signatures it is independent of row order and
+// duplication, so experiments can compare "which distinct record sets
+// exist" against what probing observed.
+func (s *Site) RowSetSignature(rowIDs []int) textutil.Signature {
+	var (
+		tz textutil.Tokenizer
+		sg textutil.Signer
+	)
+	sg.Reset()
+	for _, id := range rowIDs {
+		tz.SignContent(&sg, s.Table.RowText(id))
+	}
+	return sg.Sum()
 }
 
 // FormURL returns the absolute URL of the site's search form page.

@@ -7,6 +7,7 @@ import (
 
 	"deepweb/internal/htmlx"
 	"deepweb/internal/reldb"
+	"deepweb/internal/textutil"
 )
 
 func buildTestSite(t *testing.T, domain string, rows int) *Site {
@@ -168,6 +169,52 @@ func TestKeywordSearchBox(t *testing.T) {
 		if !strings.Contains(strings.ToLower(s.Table.RowText(id)), "history") {
 			t.Fatalf("row %d does not contain keyword", id)
 		}
+	}
+}
+
+// RowSetSignature is the ground-truth counterpart of the surfacer's
+// result-page fingerprints: independent of row order and duplication,
+// and distinct for distinct record sets.
+func TestRowSetSignatureGroundTruth(t *testing.T) {
+	s := buildTestSite(t, "usedcars", 200)
+	makes := s.Table.DistinctStrings("make")
+	if len(makes) < 2 {
+		t.Fatal("need at least two makes")
+	}
+	a := s.MatchingRows(url.Values{"make": {makes[0]}})
+	b := s.MatchingRows(url.Values{"make": {makes[1]}})
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty ground-truth result sets")
+	}
+
+	// Order and duplication do not change the fingerprint.
+	perm := append([]int(nil), a...)
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	perm = append(perm, a[0], a[len(a)-1])
+	if s.RowSetSignature(a) != s.RowSetSignature(perm) {
+		t.Error("signature depends on row order/duplication")
+	}
+
+	// Different record sets sign differently.
+	if s.RowSetSignature(a) == s.RowSetSignature(b) {
+		t.Errorf("result sets for make=%q and make=%q collide", makes[0], makes[1])
+	}
+
+	// The streamed fingerprint equals signing the concatenated content
+	// token sets directly.
+	var toks []string
+	seen := map[int]bool{}
+	for _, id := range a {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		toks = append(toks, textutil.ContentTokens(s.Table.RowText(id))...)
+	}
+	if got, want := textutil.SignatureOfTokens(toks), s.RowSetSignature(a); got != want {
+		t.Errorf("SignatureOfTokens = %v, RowSetSignature = %v", got, want)
 	}
 }
 

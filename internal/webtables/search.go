@@ -34,7 +34,7 @@ const (
 // on bulk). Tables matching no term are omitted; ties break on fewer
 // rows (smaller, denser tables first) then extraction order.
 func SearchTables(ts []RawTable, query string, k int) []TableHit {
-	terms := textutil.ContentTokens(strings.ToLower(query))
+	terms := textutil.ContentTokens(query) // ContentTokens lower-cases
 	if len(terms) == 0 || k <= 0 {
 		return nil
 	}
