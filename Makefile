@@ -1,0 +1,41 @@
+# Local mirror of the CI gates (.github/workflows/ci.yml), so every
+# check a PR will face is reproducible with one command before pushing.
+GO ?= go
+
+.PHONY: verify fmt vet build test bench fuzz lint
+
+# verify = the CI `test` job: gofmt, vet, build, race-enabled tests.
+verify: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# bench = the hot-path benchmark set CI diffs with benchstat.
+# BENCH_COUNT=6 reproduces CI's benchstat-grade sample count; pipe two
+# runs into benchstat to compare branches locally.
+BENCH_COUNT ?= 1
+bench:
+	./scripts/bench-hotpath.sh $(BENCH_COUNT)
+
+# fuzz = the CI fuzz-smoke job (differential tokenizer fuzzing).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME) ./internal/textutil
+
+# lint = the CI lint job. Installs the pinned-by-latest tools, so it
+# needs network the first time.
+lint:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
+	staticcheck ./...
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+	govulncheck ./...

@@ -3,9 +3,13 @@
 // input types, detected correlations, emitted URLs, exact coverage and
 // analysis load. It is the whole pipeline of the paper in one command.
 //
+// With -out the surfaced world is persisted as a snapshot directory
+// (index segments + semantic tables), which deepsearch -snapshot and
+// semserver -snapshot warm-start from — surface once, serve many times.
+//
 // Usage:
 //
-//	deepcrawl [-sites N] [-rows N] [-seed N] [-workers N] [-naive] [-post N]
+//	deepcrawl [-sites N] [-rows N] [-seed N] [-workers N] [-naive] [-post N] [-out DIR]
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"deepweb/internal/core"
 	"deepweb/internal/engine"
@@ -29,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers")
 	naive := flag.Bool("naive", false, "disable all semantics (ablation arm)")
 	post := flag.Int("post", 0, "make one in N sites POST-only (0 = none)")
+	out := flag.String("out", "", "write a snapshot of the surfaced world to this directory")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -75,4 +81,25 @@ func main() {
 	tw.Flush()
 	fmt.Printf("\n%d URLs surfaced, %d documents indexed, mean coverage %.0f%%\n",
 		totalDocs, e.Index.Len(), 100*e.MeanCoverage())
+
+	if *out != "" {
+		// Index the surface web too, so the snapshot covers crawled
+		// pages as well as surfaced ones. (The corpus is deepcrawl's —
+		// a cold deepsearch run differs in crawl order and follow
+		// depth, so ids and counts need not match a cold start.)
+		e.IndexSurfaceWeb()
+		start := time.Now()
+		if err := e.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot: index (%d docs, %d shards) saved to %s in %v\n",
+			e.Index.Len(), e.Index.NumShards(), *out, time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		sem := e.BuildSemantics(10000)
+		if err := sem.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot: semantics (%d pages → %d tables) saved in %v\n",
+			sem.PagesCrawled, len(sem.Tables), time.Since(start).Round(time.Millisecond))
+	}
 }

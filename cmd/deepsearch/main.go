@@ -7,9 +7,15 @@
 // The server carries production manners (via internal/httpx):
 // read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
 //
+// With -snapshot it skips world building and surfacing entirely and
+// warm-starts from a directory written by `deepcrawl -out`, answering
+// its first query in milliseconds. Startup logs each phase's duration
+// either way, so the warm-start win is visible in the logs.
+//
 // Usage:
 //
 //	deepsearch [-addr :8080] [-sites N] [-rows N] [-seed N] [-workers N]
+//	deepsearch [-addr :8080] [-snapshot DIR]
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"time"
 
 	"deepweb/internal/core"
 	"deepweb/internal/engine"
@@ -36,21 +43,40 @@ func main() {
 	seed := flag.Int64("seed", 42, "world seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers")
 	annotated := flag.Bool("annotated", false, "rank with §5.1 surfacing-time annotations (see E13)")
+	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + surfacing)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	e, err := engine.Build(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
-	if err != nil {
-		log.Fatal(err)
+	begin := time.Now()
+	var e *engine.Engine
+	if *snapshot != "" {
+		engine.DefaultWorkers = *workers
+		start := time.Now()
+		var err error
+		e, err = engine.Load(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("phase load-snapshot: %d docs from %s in %v", e.Index.Len(), *snapshot, time.Since(start).Round(time.Microsecond))
+	} else {
+		start := time.Now()
+		var err error
+		e, err = engine.Build(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.Workers = *workers
+		log.Printf("phase build-world: %v", time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		e.IndexSurfaceWeb()
+		log.Printf("phase index-surface-web: %v", time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		if err := e.SurfaceAll(core.DefaultConfig(), 5); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("phase surface: %v (%d workers)", time.Since(start).Round(time.Millisecond), *workers)
 	}
-	e.Workers = *workers
-	log.Printf("indexing surface web…")
-	e.IndexSurfaceWeb()
-	log.Printf("surfacing deep web (%d workers)…", *workers)
-	if err := e.SurfaceAll(core.DefaultConfig(), 5); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("ready: %d documents indexed", e.Index.Len())
+	log.Printf("ready: %d documents indexed, startup %v", e.Index.Len(), time.Since(begin).Round(time.Microsecond))
 
 	search := e.Index.Search
 	if *annotated {

@@ -11,15 +11,22 @@
 // The server carries production manners (via internal/httpx):
 // read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
 //
+// With -snapshot it warm-starts from the tables segment of a directory
+// written by `deepcrawl -out`, skipping the deep crawl. Startup logs
+// each phase's duration (build/crawl vs load vs listen) either way, so
+// the warm-start win is visible in the logs.
+//
 // Usage:
 //
 //	semserver [-addr :8081] [-sites N] [-rows N] [-seed N]
+//	semserver [-addr :8081] [-snapshot DIR]
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"time"
 
 	"deepweb/internal/engine"
 	"deepweb/internal/httpx"
@@ -31,17 +38,34 @@ func main() {
 	sites := flag.Int("sites", 2, "sites per domain")
 	rows := flag.Int("rows", 150, "rows per site")
 	seed := flag.Int64("seed", 42, "world seed")
+	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + crawl)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	e, err := engine.Build(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
-	if err != nil {
-		log.Fatal(err)
+	begin := time.Now()
+	var sem *engine.SemanticStore
+	if *snapshot != "" {
+		start := time.Now()
+		var err error
+		sem, err = engine.LoadSemantics(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("phase load-snapshot: %v (from %s)", time.Since(start).Round(time.Microsecond), *snapshot)
+	} else {
+		start := time.Now()
+		e, err := engine.Build(webgen.WorldConfig{Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("phase build-world: %v", time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		sem = e.BuildSemantics(10000)
+		log.Printf("phase crawl-aggregate: %v", time.Since(start).Round(time.Millisecond))
 	}
-	log.Printf("crawling…")
-	sem := e.BuildSemantics(10000)
 	log.Printf("aggregated %d pages → %d tables (%d relational), %d schemas, %d attributes",
 		sem.PagesCrawled, sem.RawTables, len(sem.Tables), sem.ACS.Schemas, len(sem.ACS.Freq))
+	log.Printf("phase listen: serving on %s after %v startup", *addr, time.Since(begin).Round(time.Microsecond))
 
 	if err := httpx.Serve(context.Background(), *addr, sem.Server()); err != nil {
 		log.Fatal(err)

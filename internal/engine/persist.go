@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"deepweb/internal/core"
+	"deepweb/internal/index"
+	"deepweb/internal/store"
+)
+
+// Persistence: Save writes the engine's index (documents, postings,
+// annotations) as a snapshot directory; Load rebuilds a serving engine
+// from one. The paper's economics depend on this split — surfacing is
+// an expensive offline pass, serving is the ordinary index answering
+// live traffic — and a snapshot is the artifact that crosses the
+// boundary. Load restores Search and AnnotatedSearch bit-for-bit: same
+// ids, same scores, same tie order.
+//
+// Both directions parallelize per shard on the engine's Workers
+// budget: Save encodes shard segments concurrently, Load decodes and
+// re-hashes them concurrently (index.ImportTerms is shard-locked).
+
+// Save writes the index to dir as one docs segment plus one postings
+// segment per shard. Existing segments in dir are overwritten
+// atomically; a concurrent reader of the old snapshot is undisturbed.
+func (e *Engine) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ix := e.Index
+	docs, lens := ix.ExportDocs()
+	shards := ix.NumShards()
+	snapID, err := store.WriteDocs(store.DocsPath(dir), shards, &store.DocsSegment{
+		Docs: docs,
+		Lens: lens,
+		Anns: ix.ExportAnnotations(),
+	})
+	if err != nil {
+		return fmt.Errorf("engine: save docs: %w", err)
+	}
+	err = e.forEachShard(shards, func(si int) error {
+		return store.WritePostings(store.PostingsPath(dir, si), shards, si, len(docs), snapID, ix.ExportShard(si))
+	})
+	if err != nil {
+		return fmt.Errorf("engine: save postings: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot directory written by Save and returns a
+// serving engine: its Index answers queries exactly as the saved one
+// did, but it carries no virtual web (Web and Fetch are nil), so
+// surfacing and coverage methods are off the table. Decoding
+// parallelizes with DefaultWorkers.
+func Load(dir string) (*Engine, error) {
+	seg, hdr, err := store.ReadDocs(store.DocsPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("engine: load docs: %w", err)
+	}
+	ix := index.NewSharded(int(hdr.Shards))
+	if err := ix.ImportDocs(seg.Docs, seg.Lens); err != nil {
+		return nil, fmt.Errorf("engine: load: %w", err)
+	}
+	e := &Engine{
+		Index:           ix,
+		Workers:         DefaultWorkers,
+		Results:         map[string]*core.Result{},
+		OfflineRequests: map[string]int{},
+		IngestStats:     map[string]core.IngestStats{},
+	}
+	err = e.forEachShard(int(hdr.Shards), func(si int) error {
+		terms, ph, err := store.ReadPostings(store.PostingsPath(dir, si))
+		if err != nil {
+			return err
+		}
+		if ph.Shards != hdr.Shards || ph.ShardID != uint32(si) || ph.DocCount != hdr.DocCount || ph.SnapID != hdr.SnapID {
+			return fmt.Errorf("%s: header (shards=%d id=%d docs=%d snap=%08x) disagrees with docs segment (shards=%d id=%d docs=%d snap=%08x) — segments from different snapshot generations?: %w",
+				store.PostingsPath(dir, si), ph.Shards, ph.ShardID, ph.DocCount, ph.SnapID,
+				hdr.Shards, si, hdr.DocCount, hdr.SnapID, store.ErrCorrupt)
+		}
+		return ix.ImportTerms(terms)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: load postings: %w", err)
+	}
+	for id, anns := range seg.Anns {
+		ix.Annotate(id, anns)
+	}
+	return e, nil
+}
+
+// forEachShard runs fn over every shard id on up to e.Workers
+// goroutines and returns the first error (by shard order).
+func (e *Engine) forEachShard(shards int, fn func(si int) error) error {
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	errs := make([]error, shards)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				errs[si] = fn(si)
+			}
+		}()
+	}
+	for si := 0; si < shards; si++ {
+		jobs <- si
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"deepweb/internal/core"
+	"deepweb/internal/webgen"
+)
+
+// BenchmarkSnapshotSave / BenchmarkSnapshotLoad measure the two halves
+// of the warm-start path over a surfaced multi-site world. Load is the
+// number that matters in production: it is the serving binary's whole
+// startup cost, and BenchmarkColdSurface alongside it is what that
+// startup used to cost.
+func BenchmarkSnapshotSave(b *testing.B) {
+	e := surfacedEngine(b, 16)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Save(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	e := surfacedEngine(b, 16)
+	dir := b.TempDir()
+	if err := e.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	prev := DefaultWorkers
+	DefaultWorkers = 4
+	defer func() { DefaultWorkers = prev }()
+	docs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := Load(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs = loaded.Index.Len()
+	}
+	b.ReportMetric(float64(docs), "docs")
+}
+
+// BenchmarkColdSurface is the re-crawl baseline BenchmarkSnapshotLoad
+// replaces: build nothing, surface the same world from scratch.
+func BenchmarkColdSurface(b *testing.B) {
+	web, err := webgen.BuildWorld(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(web)
+		e.Workers = 4
+		e.IndexSurfaceWeb()
+		if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+			b.Fatal(err)
+		}
+		docs = e.Index.Len()
+	}
+	b.ReportMetric(float64(docs), "docs")
+}

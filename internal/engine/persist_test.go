@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"deepweb/internal/core"
+	"deepweb/internal/index"
+	"deepweb/internal/store"
+	"deepweb/internal/webgen"
+)
+
+// surfacedEngine builds and surfaces a world whose index uses the
+// given posting-shard count.
+func surfacedEngine(t testing.TB, shards int) *Engine {
+	t.Helper()
+	e, err := Build(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Index = index.NewSharded(shards)
+	e.Workers = 4
+	if e.IndexSurfaceWeb() == 0 {
+		t.Fatal("surface-web crawl indexed nothing")
+	}
+	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+var persistQueries = []string{
+	"used ford focus", "homes in seattle", "nurse jobs",
+	"history books", "thai recipes", "turing award professor",
+	"ford ford focus", "the of and", "zzz-no-such-term",
+}
+
+// The acceptance bar of the snapshot layer: for a surfaced world,
+// Search from a loaded snapshot is bit-identical to the live index —
+// ids, scores (to the last float bit), tie order — across shard
+// counts, with encode and decode running on the parallel workers path.
+// Run with -race.
+func TestSaveLoadSearchBitIdentical(t *testing.T) {
+	for _, shards := range []int{1, 4, index.DefaultShards} {
+		live := surfacedEngine(t, shards)
+		dir := t.TempDir()
+		if err := live.Save(dir); err != nil {
+			t.Fatalf("shards=%d: save: %v", shards, err)
+		}
+
+		prev := DefaultWorkers
+		DefaultWorkers = 4
+		loaded, err := Load(dir)
+		DefaultWorkers = prev
+		if err != nil {
+			t.Fatalf("shards=%d: load: %v", shards, err)
+		}
+
+		if live.Index.Len() != loaded.Index.Len() {
+			t.Fatalf("shards=%d: %d docs became %d", shards, live.Index.Len(), loaded.Index.Len())
+		}
+		for id := 0; id < live.Index.Len(); id++ {
+			if live.Index.Doc(id) != loaded.Index.Doc(id) {
+				t.Fatalf("shards=%d: doc %d differs", shards, id)
+			}
+			if !reflect.DeepEqual(live.Index.AnnotationsOf(id), loaded.Index.AnnotationsOf(id)) {
+				t.Fatalf("shards=%d: annotations of doc %d differ", shards, id)
+			}
+		}
+		if !reflect.DeepEqual(live.Index.DocsBySource(), loaded.Index.DocsBySource()) {
+			t.Errorf("shards=%d: per-source counts differ", shards)
+		}
+		for _, q := range persistQueries {
+			a, b := live.Index.Search(q, 10), loaded.Index.Search(q, 10)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: Search(%q) differs:\n  live   %v\n  loaded %v", shards, q, a, b)
+				continue
+			}
+			for i := range a {
+				if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+					t.Errorf("shards=%d: Search(%q) hit %d: score bits differ", shards, q, i)
+				}
+			}
+			if a, b := live.Index.AnnotatedSearch(q, 10), loaded.Index.AnnotatedSearch(q, 10); !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: AnnotatedSearch(%q) differs", shards, q)
+			}
+		}
+	}
+}
+
+// Saving over an existing snapshot must leave a readable snapshot, and
+// a snapshot saved by a 1-worker engine must be byte-identical to one
+// saved by a parallel engine (segment bytes are deterministic).
+func TestSaveDeterministicAcrossWorkers(t *testing.T) {
+	e := surfacedEngine(t, 4)
+	seq, par := t.TempDir(), t.TempDir()
+	e.Workers = 1
+	if err := e.Save(seq); err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = 4
+	if err := e.Save(par); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"docs.seg"}
+	for si := 0; si < e.Index.NumShards(); si++ {
+		names = append(names, filepath.Base(store.PostingsPath("", si)))
+	}
+	for _, name := range names {
+		a, err := os.ReadFile(filepath.Join(seq, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(par, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between 1-worker and 4-worker saves", name)
+		}
+	}
+}
+
+// A damaged snapshot directory must fail the load with a diagnosable
+// error — the serving binary exits at startup instead of serving a
+// silently wrong index.
+func TestLoadRejectsDamagedSnapshot(t *testing.T) {
+	e := surfacedEngine(t, 4)
+	save := func(t *testing.T) string {
+		dir := t.TempDir()
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("missing directory", func(t *testing.T) {
+		if _, err := Load(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("want not-exist, got %v", err)
+		}
+	})
+	t.Run("missing postings segment", func(t *testing.T) {
+		dir := save(t)
+		if err := os.Remove(store.PostingsPath(dir, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("want not-exist, got %v", err)
+		}
+	})
+	t.Run("truncated postings segment", func(t *testing.T) {
+		dir := save(t)
+		path := store.PostingsPath(dir, 1)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("postings from a different generation", func(t *testing.T) {
+		// Rewrite one postings segment with its own decoded contents but
+		// a perturbed snapshot id — the shape a crash mid-save leaves
+		// behind (old-generation postings under a new docs segment).
+		dir := save(t)
+		path := store.PostingsPath(dir, 0)
+		terms, ph, err := store.ReadPostings(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WritePostings(path, int(ph.Shards), 0, int(ph.DocCount), ph.SnapID+1, terms); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("mixed-generation snapshot loaded: %v", err)
+		}
+	})
+	t.Run("segments from different snapshots", func(t *testing.T) {
+		dir := save(t)
+		other := surfacedEngine(t, 8)
+		otherDir := t.TempDir()
+		if err := other.Save(otherDir); err != nil {
+			t.Fatal(err)
+		}
+		// A docs segment claiming 8 shards over 4-shard postings files.
+		if err := os.Rename(store.DocsPath(otherDir), store.DocsPath(dir)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); err == nil {
+			t.Fatal("mixed-snapshot load succeeded")
+		}
+	})
+}
+
+// The semantic store round-trips through its tables segment: the
+// rebuilt ACSDb and value store are identical because both are pure
+// functions of the persisted tables.
+func TestSemanticsSaveLoad(t *testing.T) {
+	e, err := Build(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := e.BuildSemantics(2000)
+	dir := t.TempDir()
+	if err := sem.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSemantics(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sem) {
+		t.Fatalf("semantic store round trip differs:\n got %+v\nwant %+v", got, sem)
+	}
+	if got.Server() == nil {
+		t.Fatal("loaded store has no server")
+	}
+}

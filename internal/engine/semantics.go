@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"fmt"
+	"os"
+
 	"deepweb/internal/semserv"
+	"deepweb/internal/store"
 	"deepweb/internal/webgen"
 	"deepweb/internal/webtables"
 	"deepweb/internal/webx"
@@ -41,4 +45,43 @@ func (e *Engine) BuildSemantics(maxPages int) *SemanticStore {
 // Server wraps the store in the four-service HTTP server (§6).
 func (s *SemanticStore) Server() *semserv.Server {
 	return semserv.New(s.ACS, s.Values, s.Tables)
+}
+
+// Save writes the semantic store's tables segment into a snapshot
+// directory (alongside, or independent of, an index snapshot). Only
+// the filtered raw tables are persisted — the ACSDb and value store
+// are cheap deterministic aggregations LoadSemantics rebuilds.
+func (s *SemanticStore) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	err := store.WriteTables(store.TablesPath(dir), &store.TablesSegment{
+		PagesCrawled: s.PagesCrawled,
+		RawTables:    s.RawTables,
+		Tables:       s.Tables,
+	})
+	if err != nil {
+		return fmt.Errorf("engine: save tables: %w", err)
+	}
+	return nil
+}
+
+// LoadSemantics rebuilds a SemanticStore from a snapshot directory's
+// tables segment — the warm-start path that replaces BuildSemantics's
+// deep crawl. The ACSDb and value store come out identical to the
+// saved store's because both are pure functions of the table set.
+func LoadSemantics(dir string) (*SemanticStore, error) {
+	seg, err := store.ReadTables(store.TablesPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("engine: load tables: %w", err)
+	}
+	vals := webtables.NewValueStore()
+	vals.AddTables(seg.Tables)
+	return &SemanticStore{
+		PagesCrawled: seg.PagesCrawled,
+		RawTables:    seg.RawTables,
+		Tables:       seg.Tables,
+		ACS:          webtables.BuildACSDb(seg.Tables),
+		Values:       vals,
+	}, nil
 }

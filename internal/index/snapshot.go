@@ -1,0 +1,139 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot support. The index's internals — the sharded posting maps,
+// the document table, the annotation store — stay private; this file is
+// the narrow export/import surface the snapshot codec (internal/store)
+// works through. Export hands out copies or short-lived views; import
+// rebuilds an index from decoded segments without re-running the text
+// pipeline, which is what makes warm starts cheap.
+//
+// Shard assignment is seeded per process (maphash), so a term's shard
+// at save time says nothing about its shard after a load. Export
+// therefore walks shards only as a way to partition work; import
+// re-hashes every term under the loading index's own seed. Search
+// merges across shards, so results are independent of the layout —
+// ImportDocs + ImportTerms reproduce Search bit-for-bit because every
+// quantity BM25 reads (doc count, lengths, total length, tf, df) is
+// restored exactly.
+
+// Posting is the exported view of one posting-list entry.
+type Posting struct {
+	Doc int32 // document id
+	TF  int32 // term frequency (title terms pre-counted double)
+}
+
+// TermPostings is one term's full posting list, in insertion (doc-id)
+// order.
+type TermPostings struct {
+	Term     string
+	Postings []Posting
+}
+
+// NumShards returns the posting-shard count.
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// ExportShard returns shard si's terms with their posting lists, terms
+// sorted, postings in stored order. The slices are fresh copies — the
+// caller may encode them after the call returns, concurrently with
+// writers.
+func (ix *Index) ExportShard(si int) []TermPostings {
+	sh := ix.shards[si]
+	sh.mu.RLock()
+	out := make([]TermPostings, 0, len(sh.postings))
+	for term, plist := range sh.postings {
+		ps := make([]Posting, len(plist))
+		for i, p := range plist {
+			ps[i] = Posting{Doc: p.doc, TF: p.tf}
+		}
+		out = append(out, TermPostings{Term: term, Postings: ps})
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// ExportDocs returns copies of the document table and the per-document
+// term lengths, both indexed by doc id.
+func (ix *Index) ExportDocs() (docs []Doc, lens []int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	docs = make([]Doc, len(ix.docs))
+	copy(docs, ix.docs)
+	lens = make([]int, len(ix.lens))
+	copy(lens, ix.lens)
+	return docs, lens
+}
+
+// ExportAnnotations returns a copy of every document's annotations
+// (empty map when none exist).
+func (ix *Index) ExportAnnotations() map[int]map[string]string {
+	st := ix.annotations()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make(map[int]map[string]string, len(st.anns))
+	for id, m := range st.anns {
+		cp := make(map[string]string, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[id] = cp
+	}
+	return out
+}
+
+// ImportDocs installs a decoded document table into an empty index,
+// rebuilding the URL and source lookup structures and the total length
+// BM25 normalizes by. It refuses a non-empty index: snapshots restore
+// whole worlds, they do not merge into live ones.
+func (ix *Index) ImportDocs(docs []Doc, lens []int) error {
+	if len(docs) != len(lens) {
+		return fmt.Errorf("index: import: %d docs but %d lengths", len(docs), len(lens))
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.docs) != 0 {
+		return fmt.Errorf("index: import into non-empty index (%d docs)", len(ix.docs))
+	}
+	ix.docs = docs
+	ix.lens = lens
+	for id, d := range docs {
+		if prev, dup := ix.byURL[d.URL]; dup {
+			return fmt.Errorf("index: import: duplicate URL %q (docs %d and %d)", d.URL, prev, id)
+		}
+		ix.byURL[d.URL] = id
+		if d.Source != "" {
+			ix.bySource[d.Source]++
+		}
+		ix.totalLen += lens[id]
+	}
+	return nil
+}
+
+// ImportTerms installs decoded posting lists, hashing each term to its
+// shard under this index's seed. Lists are installed as-is (stored
+// order preserved); a term may be imported at most once per index.
+// Safe to call concurrently — a loader decodes segments in parallel.
+func (ix *Index) ImportTerms(terms []TermPostings) error {
+	for _, tp := range terms {
+		sh := ix.shardFor(tp.Term)
+		plist := make([]posting, len(tp.Postings))
+		for i, p := range tp.Postings {
+			plist[i] = posting{doc: p.Doc, tf: p.TF}
+		}
+		sh.mu.Lock()
+		_, dup := sh.postings[tp.Term]
+		if !dup {
+			sh.postings[tp.Term] = plist
+		}
+		sh.mu.Unlock()
+		if dup {
+			return fmt.Errorf("index: import: term %q imported twice", tp.Term)
+		}
+	}
+	return nil
+}

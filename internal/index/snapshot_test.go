@@ -1,0 +1,130 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// smallCorpus indexes a deterministic toy corpus with annotations.
+func smallCorpus(shards int) *Index {
+	ix := NewSharded(shards)
+	for i := 0; i < 40; i++ {
+		id, _ := ix.Add(Doc{
+			URL:    fmt.Sprintf("http://cars.example/p%d", i),
+			Title:  fmt.Sprintf("used car %d ford focus", i),
+			Text:   fmt.Sprintf("great ford focus number %d in seattle, price %d", i, 1000+i),
+			Source: fmt.Sprintf("form-%d", i%3),
+		})
+		if i%2 == 0 {
+			ix.Annotate(id, map[string]string{"make": "ford", "model": "focus"})
+		}
+	}
+	return ix
+}
+
+// transplant exports every snapshot surface of src and imports it into
+// a fresh index with the given shard count.
+func transplant(t *testing.T, src *Index, shards int) *Index {
+	t.Helper()
+	docs, lens := src.ExportDocs()
+	dst := NewSharded(shards)
+	if err := dst.ImportDocs(docs, lens); err != nil {
+		t.Fatal(err)
+	}
+	for si := 0; si < src.NumShards(); si++ {
+		if err := dst.ImportTerms(src.ExportShard(si)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, anns := range src.ExportAnnotations() {
+		dst.Annotate(id, anns)
+	}
+	return dst
+}
+
+// Export → import must reproduce queries exactly, whatever the shard
+// counts on either side: shard layout is a concurrency detail, not an
+// observable property.
+func TestSnapshotTransplantExactness(t *testing.T) {
+	src := smallCorpus(DefaultShards)
+	for _, shards := range []int{1, 4, DefaultShards, 32} {
+		dst := transplant(t, src, shards)
+		if src.Len() != dst.Len() {
+			t.Fatalf("shards=%d: %d docs became %d", shards, src.Len(), dst.Len())
+		}
+		for id := 0; id < src.Len(); id++ {
+			if src.Doc(id) != dst.Doc(id) {
+				t.Fatalf("shards=%d: doc %d differs", shards, id)
+			}
+			if !reflect.DeepEqual(src.AnnotationsOf(id), dst.AnnotationsOf(id)) {
+				t.Fatalf("shards=%d: annotations of doc %d differ", shards, id)
+			}
+		}
+		if !reflect.DeepEqual(src.DocsBySource(), dst.DocsBySource()) {
+			t.Errorf("shards=%d: per-source counts differ", shards)
+		}
+		for _, q := range []string{"ford focus", "seattle price", "used car 7", "absent-term"} {
+			a, b := src.Search(q, 10), dst.Search(q, 10)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: Search(%q) differs:\n  src %v\n  dst %v", shards, q, a, b)
+			}
+			for i := range a {
+				if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+					t.Errorf("shards=%d: Search(%q) hit %d: score bits differ", shards, q, i)
+				}
+			}
+			if !reflect.DeepEqual(src.AnnotatedSearch(q, 10), dst.AnnotatedSearch(q, 10)) {
+				t.Errorf("shards=%d: AnnotatedSearch(%q) differs", shards, q)
+			}
+			if src.DF(q) != dst.DF(q) {
+				t.Errorf("shards=%d: DF(%q) differs", shards, q)
+			}
+		}
+	}
+}
+
+// ExportShard hands out copies: mutating them must not corrupt the
+// index, and terms arrive sorted for deterministic segment bytes.
+func TestExportShardIsolatedAndSorted(t *testing.T) {
+	ix := smallCorpus(4)
+	for si := 0; si < ix.NumShards(); si++ {
+		terms := ix.ExportShard(si)
+		for i := range terms {
+			if i > 0 && terms[i-1].Term >= terms[i].Term {
+				t.Fatalf("shard %d: terms out of order: %q then %q", si, terms[i-1].Term, terms[i].Term)
+			}
+			for j := range terms[i].Postings {
+				terms[i].Postings[j] = Posting{Doc: -1, TF: -1}
+			}
+		}
+	}
+	if got := ix.Search("ford focus", 5); len(got) == 0 {
+		t.Fatal("index corrupted by mutating an exported shard")
+	}
+}
+
+// The import surface refuses the states that would corrupt an index
+// silently.
+func TestImportRejectsBadState(t *testing.T) {
+	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}}, []int{1, 2}); err == nil {
+		t.Error("mismatched docs/lens accepted")
+	}
+	ix := smallCorpus(2)
+	docs, lens := ix.ExportDocs()
+	if err := ix.ImportDocs(docs, lens); err == nil {
+		t.Error("import into non-empty index accepted")
+	}
+	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}, {URL: "u"}}, []int{1, 1}); err == nil {
+		t.Error("duplicate URL accepted")
+	}
+	fresh := NewSharded(2)
+	tp := []TermPostings{{Term: "dup", Postings: []Posting{{Doc: 0, TF: 1}}}}
+	if err := fresh.ImportTerms(tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ImportTerms(tp); err == nil {
+		t.Error("double term import accepted")
+	}
+}

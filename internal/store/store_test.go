@@ -1,0 +1,288 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"deepweb/internal/index"
+	"deepweb/internal/webtables"
+)
+
+func sampleDocs() *DocsSegment {
+	return &DocsSegment{
+		Docs: []index.Doc{
+			{URL: "http://a/1", Title: "one", Text: "ford focus compact", Source: "form-a"},
+			{URL: "http://a/2", Title: "two", Text: "honda civic — überschnell", Source: ""},
+			{URL: "http://b/1", Title: "", Text: "", Source: "form-b"},
+		},
+		Lens: []int{7, 5, 0},
+		Anns: map[int]map[string]string{
+			0: {"make": "ford", "model": "focus"},
+			2: {"make": "honda"},
+		},
+	}
+}
+
+func samplePostings() []index.TermPostings {
+	return []index.TermPostings{
+		{Term: "civic", Postings: []index.Posting{{Doc: 1, TF: 1}}},
+		{Term: "ford", Postings: []index.Posting{{Doc: 0, TF: 3}, {Doc: 2, TF: 1}}},
+		// Out-of-order doc ids must round-trip too (zig-zag deltas).
+		{Term: "zig", Postings: []index.Posting{{Doc: 2, TF: 1}, {Doc: 0, TF: 9}}},
+	}
+}
+
+func sampleTables() *TablesSegment {
+	return &TablesSegment{
+		PagesCrawled: 120,
+		RawTables:    9,
+		Tables: []webtables.RawTable{
+			{URL: "http://a/t", Headers: []string{"make", "model"}, Rows: [][]string{{"ford", "focus"}, {"honda", "civic"}}},
+			{URL: "http://b/t", Headers: []string{"city"}, Rows: [][]string{{"seattle"}, {}}},
+		},
+	}
+}
+
+func TestDocsRoundTrip(t *testing.T) {
+	path := DocsPath(t.TempDir())
+	want := sampleDocs()
+	snapID, err := WriteDocs(path, 4, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, h, err := ReadDocs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || h.Kind != KindDocs || h.Shards != 4 || h.DocCount != 3 {
+		t.Fatalf("bad header: %+v", h)
+	}
+	if snapID == 0 || h.SnapID != snapID {
+		t.Fatalf("snapshot id not round-tripped: wrote %08x, read %08x", snapID, h.SnapID)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPostingsRoundTrip(t *testing.T) {
+	path := PostingsPath(t.TempDir(), 2)
+	want := samplePostings()
+	if err := WritePostings(path, 8, 2, 3, 0xBEEF, want); err != nil {
+		t.Fatal(err)
+	}
+	got, h, err := ReadPostings(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards != 8 || h.ShardID != 2 || h.DocCount != 3 || h.SnapID != 0xBEEF {
+		t.Fatalf("bad header: %+v", h)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestTablesRoundTrip(t *testing.T) {
+	path := TablesPath(t.TempDir())
+	want := sampleTables()
+	if err := WriteTables(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTables(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Identical inputs must produce byte-identical segments (maps are
+// emitted in sorted order), so snapshots diff cleanly.
+func TestWriteDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.seg"), filepath.Join(dir, "b.seg")
+	if _, err := WriteDocs(a, 4, sampleDocs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteDocs(b, 4, sampleDocs()); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if string(ba) != string(bb) {
+		t.Fatal("two writes of the same docs segment differ")
+	}
+}
+
+// writeSample writes one valid docs segment and returns its path and
+// bytes, as the substrate for corruption tests.
+func writeSample(t *testing.T) (string, []byte) {
+	t.Helper()
+	path := DocsPath(t.TempDir())
+	if _, err := WriteDocs(path, 4, sampleDocs()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+// rewrite replaces the file with mutated bytes.
+func rewrite(t *testing.T, path string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every corruption mode must come back as a wrapped error — never a
+// panic, never silent success.
+func TestCorruptionDetected(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+		wantMsg string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-8] }, ErrCorrupt, "truncated header"},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-5] }, ErrCorrupt, "truncated segment body"},
+		{"empty file", func(b []byte) []byte { return nil }, ErrCorrupt, "truncated header"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrCorrupt, "bad magic"},
+		{"header bit flip", func(b []byte) []byte { b[9] ^= 0x40; return b }, ErrCorrupt, "header CRC"},
+		{"body bit flip", func(b []byte) []byte { b[headerSize+3] ^= 0x01; return b }, ErrCorrupt, "body CRC"},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xEE) }, ErrCorrupt, "trailing"},
+		{"wrong version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:6], Version+1)
+			reseal(b)
+			return b
+		}, ErrVersion, "version"},
+		{"wrong kind", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[6:8], uint16(KindPostings))
+			reseal(b)
+			return b
+		}, ErrCorrupt, "kind"},
+		{"doc count lies", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], 99)
+			reseal(b)
+			return b
+		}, ErrCorrupt, "header says"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, raw := writeSample(t)
+			rewrite(t, path, tc.mutate(append([]byte(nil), raw...)))
+			_, _, err := ReadDocs(path)
+			if err == nil {
+				t.Fatal("corrupt segment read succeeded")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v not wrapped in %v", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// reseal recomputes both CRCs after a deliberate header edit, so the
+// test reaches the semantic check it is aiming at instead of tripping
+// the CRC first.
+func reseal(b []byte) {
+	binary.LittleEndian.PutUint32(b[36:40], crc32.Checksum(b[headerSize:], castagnoli))
+	binary.LittleEndian.PutUint32(b[40:44], crc32.Checksum(b[0:40], castagnoli))
+}
+
+// A postings body whose doc ids exceed the declared doc count is
+// structurally valid varint data but semantically corrupt.
+func TestPostingsDocBoundsChecked(t *testing.T) {
+	path := PostingsPath(t.TempDir(), 0)
+	if err := WritePostings(path, 1, 0, 2, 0, []index.TermPostings{
+		{Term: "ok", Postings: []index.Posting{{Doc: 5, TF: 1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPostings(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range doc id not rejected: %v", err)
+	}
+}
+
+// A missing segment surfaces the underlying not-exist error so callers
+// can distinguish "no snapshot" from "broken snapshot".
+func TestMissingSegment(t *testing.T) {
+	_, _, err := ReadDocs(DocsPath(t.TempDir()))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+}
+
+// A lying shard count must be rejected before it can size anything: 0
+// would silently load a postings-free index, huge would OOM building
+// shards. Both writer and reader refuse it.
+func TestShardCountBounds(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteDocs(DocsPath(dir), 0, sampleDocs()); err == nil {
+		t.Error("WriteDocs accepted 0 shards")
+	}
+	if _, err := WriteDocs(DocsPath(dir), MaxShards+1, sampleDocs()); err == nil {
+		t.Error("WriteDocs accepted > MaxShards shards")
+	}
+	for _, shards := range []uint32{0, MaxShards + 1} {
+		path, raw := writeSample(t)
+		binary.LittleEndian.PutUint32(raw[8:12], shards)
+		reseal(raw)
+		rewrite(t, path, raw)
+		if _, _, err := ReadDocs(path); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("shards=%d accepted by reader: %v", shards, err)
+		}
+	}
+	// A postings segment claiming a shard id outside its shard count.
+	path := PostingsPath(t.TempDir(), 0)
+	if err := WritePostings(path, 4, 0, 3, 0, samplePostings()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[12:16], 4)
+	reseal(raw)
+	rewrite(t, path, raw)
+	if _, _, err := ReadPostings(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("shard id == shard count accepted: %v", err)
+	}
+}
+
+// A tf outside int32 range is valid varint data that would silently
+// wrap through the int32 cast and corrupt BM25 scores; the decoder
+// must reject it like an out-of-range doc id.
+func TestPostingsTFBoundsChecked(t *testing.T) {
+	for _, tf := range []uint64{0, 1 << 31, 1 << 32} {
+		var e enc
+		e.uvarint(1)  // one term
+		e.str("ok")   //
+		e.uvarint(1)  // one posting
+		e.varint(0)   // doc 0
+		e.uvarint(tf) // out-of-range tf
+		path := PostingsPath(t.TempDir(), 0)
+		err := writeSegment(path, Header{
+			Version: Version, Kind: KindPostings, Shards: 1, DocCount: 1,
+		}, e.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadPostings(path); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("tf=%d accepted: %v", tf, err)
+		}
+	}
+}
