@@ -20,7 +20,9 @@ build:
 test:
 	$(GO) test -race ./...
 
-# bench = the hot-path benchmark set CI diffs with benchstat.
+# bench = the hot-path benchmark set CI diffs with benchstat (text
+# pipeline, index add/search ± tombstones, snapshot save/load, refresh,
+# end-to-end surfacing — see scripts/bench-hotpath.sh).
 # BENCH_COUNT=6 reproduces CI's benchstat-grade sample count; pipe two
 # runs into benchstat to compare branches locally.
 BENCH_COUNT ?= 1

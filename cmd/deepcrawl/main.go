@@ -4,12 +4,23 @@
 // analysis load. It is the whole pipeline of the paper in one command.
 //
 // With -out the surfaced world is persisted as a snapshot directory
-// (index segments + semantic tables), which deepsearch -snapshot and
-// semserver -snapshot warm-start from — surface once, serve many times.
+// (index segments + semantic tables + refresh metadata), which
+// deepsearch -snapshot and semserver -snapshot warm-start from —
+// surface once, serve many times.
+//
+// With -refresh DIR it applies a delta instead of re-surfacing the
+// world: the world is rebuilt from the same flags, aged with -churn
+// random row mutations per site, and the snapshot's per-site content
+// signatures decide which sites are re-surfaced. Only those sites'
+// documents are retired and re-ingested; everything else is untouched.
+// The refreshed snapshot is written back to DIR (or to -out when
+// given), and a SIGHUP makes a running `deepsearch -snapshot` pick it
+// up without restarting.
 //
 // Usage:
 //
 //	deepcrawl [-sites N] [-rows N] [-seed N] [-workers N] [-naive] [-post N] [-out DIR]
+//	deepcrawl [world flags] -refresh DIR [-churn N] [-churnseed N] [-out DIR]
 package main
 
 import (
@@ -35,20 +46,30 @@ func main() {
 	naive := flag.Bool("naive", false, "disable all semantics (ablation arm)")
 	post := flag.Int("post", 0, "make one in N sites POST-only (0 = none)")
 	out := flag.String("out", "", "write a snapshot of the surfaced world to this directory")
+	refresh := flag.String("refresh", "", "refresh an existing snapshot directory instead of surfacing from scratch")
+	churn := flag.Int("churn", 5, "with -refresh: random row mutations applied per site before refreshing")
+	churnSeed := flag.Int64("churnseed", 1, "with -refresh: seed of the churn mutation stream")
 	flag.Parse()
 	log.SetFlags(0)
 
-	e, err := engine.Build(webgen.WorldConfig{
-		Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows, PostFraction: *post,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	e.Workers = *workers
 	cfg := core.DefaultConfig()
 	if *naive {
 		cfg = core.NaiveConfig()
 	}
+	worldCfg := webgen.WorldConfig{
+		Seed: *seed, SitesPerDom: *sites, RowsPerSite: *rows, PostFraction: *post,
+	}
+
+	if *refresh != "" {
+		runRefresh(worldCfg, cfg, *refresh, *out, *workers, *churn, *churnSeed)
+		return
+	}
+
+	e, err := engine.Build(worldCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.Workers = *workers
 	fmt.Printf("surfacing %d sites (%d rows each, %d workers, naive=%v)\n\n",
 		len(e.Web.Sites()), *rows, *workers, *naive)
 	if err := e.SurfaceAll(cfg, 3); err != nil {
@@ -102,4 +123,48 @@ func main() {
 		fmt.Printf("snapshot: semantics (%d pages → %d tables) saved in %v\n",
 			sem.PagesCrawled, len(sem.Tables), time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runRefresh rebuilds the world the snapshot was surfaced from, ages
+// it with deterministic churn, and re-surfaces only the changed sites.
+func runRefresh(worldCfg webgen.WorldConfig, cfg core.Config, dir, out string, workers, churn int, churnSeed int64) {
+	if out == "" {
+		out = dir
+	}
+	web, err := webgen.BuildWorld(worldCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	engine.DefaultWorkers = workers
+	e, err := engine.LoadWith(web, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded snapshot: %d docs from %s in %v\n",
+		e.Index.Len(), dir, time.Since(start).Round(time.Millisecond))
+
+	webgen.Churn(web, churn, churnSeed)
+	fmt.Printf("churn: %d row mutations per site (seed %d)\n", churn, churnSeed)
+
+	start = time.Now()
+	st, err := e.Refresh(cfg, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refresh: %d/%d sites changed, %d docs retired, %d added, %d surface pages refetched, compacted=%v in %v\n",
+		st.SitesChanged, st.SitesChecked, st.DocsDeleted, st.DocsAdded, st.SurfacePages,
+		st.Compacted, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	if err := e.Save(out); err != nil {
+		log.Fatal(err)
+	}
+	sem := e.BuildSemantics(10000)
+	if err := sem.Save(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d docs (%d tombstoned) + %d semantic tables saved to %s in %v\n",
+		e.Index.Len(), e.Index.Deleted(), len(sem.Tables), out, time.Since(start).Round(time.Millisecond))
+	fmt.Println("signal a running `deepsearch -snapshot` with SIGHUP to pick it up")
 }

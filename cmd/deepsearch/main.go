@@ -10,7 +10,12 @@
 // With -snapshot it skips world building and surfacing entirely and
 // warm-starts from a directory written by `deepcrawl -out`, answering
 // its first query in milliseconds. Startup logs each phase's duration
-// either way, so the warm-start win is visible in the logs.
+// either way, so the warm-start win is visible in the logs. A running
+// -snapshot server also reloads on SIGHUP: after `deepcrawl -refresh`
+// replaces the snapshot (segment writes are atomic), SIGHUP swaps the
+// new index in behind an atomic pointer — in-flight queries finish
+// against the engine they started on, new queries see the fresh one,
+// and a failed reload keeps the current index serving.
 //
 // Usage:
 //
@@ -25,14 +30,19 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"deepweb/internal/core"
 	"deepweb/internal/engine"
 	"deepweb/internal/htmlx"
 	"deepweb/internal/httpx"
+	"deepweb/internal/index"
 	"deepweb/internal/webgen"
 )
 
@@ -78,9 +88,33 @@ func main() {
 	}
 	log.Printf("ready: %d documents indexed, startup %v", e.Index.Len(), time.Since(begin).Round(time.Microsecond))
 
-	search := e.Index.Search
-	if *annotated {
-		search = e.Index.AnnotatedSearch
+	// Queries resolve the engine through an atomic pointer so a SIGHUP
+	// reload swaps snapshots without dropping in-flight requests: a
+	// request keeps the engine it loaded for its whole lifetime.
+	var current atomic.Pointer[engine.Engine]
+	current.Store(e)
+	if *snapshot != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				start := time.Now()
+				ne, err := engine.Load(*snapshot)
+				if err != nil {
+					log.Printf("reload: %v (keeping current index)", err)
+					continue
+				}
+				current.Store(ne)
+				log.Printf("reload: %d docs from %s in %v", ne.Index.Len(), *snapshot, time.Since(start).Round(time.Microsecond))
+			}
+		}()
+	}
+	search := func(q string, k int) []index.Result {
+		ix := current.Load().Index
+		if *annotated {
+			return ix.AnnotatedSearch(q, k)
+		}
+		return ix.Search(q, k)
 	}
 
 	mux := http.NewServeMux()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"net/url"
 	"sort"
 
@@ -145,8 +146,12 @@ func (s *Surfacer) indexable(e TemplateEval) bool {
 }
 
 // evalTemplate probes a deterministic sample of the template's
-// submissions. The bool result is false when the probe budget ran out
-// mid-evaluation.
+// submissions. The bool result is false only when the probe budget ran
+// out mid-evaluation — the one condition that should end the whole
+// template search. An unprobeable binding (POST form) aborts just this
+// template's evaluation with budgetOK=true, and a transient fetch
+// failure skips just that submission, so neither starves the remaining
+// templates of probes they are still entitled to.
 func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (TemplateEval, bool) {
 	all := enumerate(dims, sel)
 	if len(all) == 0 {
@@ -157,9 +162,18 @@ func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (Temp
 	s.sigbuf = s.sigbuf[:0]
 	totalItems := 0
 	for _, b := range sample {
-		obs, ok := s.prober.probe(f, b)
-		if !ok {
+		obs, err := s.prober.probe(f, b)
+		if errors.Is(err, errBudget) {
 			return eval, false
+		}
+		if errors.Is(err, errUnprobeable) {
+			// Form-level condition: no binding of this template can be
+			// submitted. Report it uninformative (Sampled stays 0 for a
+			// fresh template), not budget-starved.
+			return TemplateEval{}, true
+		}
+		if err != nil {
+			continue // this one submission failed; sample the rest
 		}
 		eval.Sampled++
 		s.sigbuf = append(s.sigbuf, obs.sig)

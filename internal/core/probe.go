@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"deepweb/internal/form"
@@ -28,22 +30,42 @@ type prober struct {
 	used   int
 }
 
-// errBudget is reported via ok=false: the probe budget is exhausted and
-// the caller must settle for what it has learned so far.
-func (p *prober) probe(f *form.Form, b form.Binding) (observation, bool) {
+// The three ways a probe can fail mean three different things to the
+// template search, so they must stay distinguishable: an exhausted
+// budget ends the whole analysis (settle for what is learned so far),
+// an unprobeable binding condemns only its template (the form cannot
+// be submitted by URL — no budget was spent), and a transient fetch
+// failure condemns only that one submission. Collapsing them into one
+// boolean — the bug this fixes — made ISIT read a POST-only template
+// or a single failed fetch as "budget empty" and abandon the remaining
+// templates of a form that still had budget to spend.
+var (
+	// errBudget: the probe budget is exhausted.
+	errBudget = errors.New("core: probe budget exhausted")
+	// errUnprobeable: the binding has no submission URL (POST form).
+	errUnprobeable = errors.New("core: binding not probeable by URL")
+)
+
+// probe issues one form submission. A nil error carries a valid
+// observation; otherwise the error is errBudget, errUnprobeable, or a
+// wrapped fetch/HTTP failure (check with errors.Is).
+func (p *prober) probe(f *form.Form, b form.Binding) (observation, error) {
 	if p.used >= p.budget {
-		return observation{}, false
+		return observation{}, errBudget
 	}
 	u := f.SubmitURL(b)
 	if u == "" {
-		return observation{}, false // POST form: not probeable by URL
+		return observation{}, errUnprobeable
 	}
 	p.used++
 	page, err := p.fetch.Get(u)
-	if err != nil || page.Status != 200 {
-		return observation{}, false
+	if err != nil {
+		return observation{}, fmt.Errorf("core: probe: %w", err)
 	}
-	return observe(page), true
+	if page.Status != 200 {
+		return observation{}, fmt.Errorf("core: probe %s: status %d", u, page.Status)
+	}
+	return observe(page), nil
 }
 
 // observe fingerprints a fetched page.
@@ -139,9 +161,14 @@ func (s *Surfacer) probeSearchBox(f *form.Form, inputName string, fixed form.Bin
 			probed++
 			b := fixed.Clone()
 			b[inputName] = kw
-			obs, ok := s.prober.probe(f, b)
-			if !ok {
+			obs, err := s.prober.probe(f, b)
+			if errors.Is(err, errBudget) || errors.Is(err, errUnprobeable) {
+				// No budget left, or the input can never be probed:
+				// further keywords cannot fare better.
 				break
+			}
+			if err != nil {
+				continue // one submission failed; the next may not
 			}
 			if obs.items > 0 {
 				productive = append(productive, keywordInfo{kw: kw, sig: obs.sig, items: obs.items})

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"deepweb/internal/form"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webx"
+)
+
+// testForms returns a GET form served by a real site and a POST twin
+// of it, plus the fetcher to probe them with.
+func testForms(t *testing.T) (*webx.Fetcher, *form.Form, *form.Form) {
+	t.Helper()
+	web := webgen.NewWeb()
+	site, err := webgen.BuildSite("usedcars", 0, 42, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web.AddSite(site)
+	f := webx.NewFetcher(web)
+	page, err := f.Get(site.FormURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := url.Parse(page.URL)
+	getForm, err := form.FromDecl(base, page.Forms()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postForm := *getForm
+	postForm.Method = "post"
+	return f, getForm, &postForm
+}
+
+// The three probe failures carry three distinct signals; collapsing
+// them is the bug this file regression-tests (an unprobeable POST
+// binding or one failed fetch must not read as "budget exhausted").
+func TestProbeDistinguishesFailures(t *testing.T) {
+	f, getForm, postForm := testForms(t)
+	b := form.Binding{"make": "ford"}
+
+	p := &prober{fetch: f, budget: 0}
+	if _, err := p.probe(getForm, b); !errors.Is(err, errBudget) {
+		t.Errorf("exhausted budget: got %v, want errBudget", err)
+	}
+
+	p = &prober{fetch: f, budget: 10}
+	if _, err := p.probe(postForm, b); !errors.Is(err, errUnprobeable) {
+		t.Errorf("POST form: got %v, want errUnprobeable", err)
+	}
+	if p.used != 0 {
+		t.Errorf("unprobeable binding consumed %d budget", p.used)
+	}
+
+	if obs, err := p.probe(getForm, b); err != nil || obs.items == 0 {
+		t.Errorf("healthy probe: obs=%+v err=%v", obs, err)
+	}
+}
+
+// evalTemplate on an unprobeable form must report "uninformative",
+// not "budget exhausted": budgetOK=true lets ISIT keep evaluating the
+// remaining templates.
+func TestEvalTemplateUnprobeableIsNotBudgetExhaustion(t *testing.T) {
+	f, _, postForm := testForms(t)
+	s := NewSurfacer(f, DefaultConfig())
+	s.prober = &prober{fetch: f, budget: 100}
+	dims := []Dimension{{Name: "make", Inputs: []string{"make"}, Values: [][]string{{"ford"}, {"honda"}}}}
+
+	eval, budgetOK := s.evalTemplate(postForm, dims, []int{0})
+	if !budgetOK {
+		t.Fatal("unprobeable template reported as budget exhaustion")
+	}
+	if eval.Sampled != 0 || s.informative(eval) {
+		t.Fatalf("unprobeable template evaluated informative: %+v", eval)
+	}
+	if s.prober.used != 0 {
+		t.Fatalf("unprobeable template consumed %d budget", s.prober.used)
+	}
+
+	// And with the budget genuinely gone, the old signal still fires.
+	s.prober = &prober{fetch: f, budget: 0}
+	if _, budgetOK := s.evalTemplate(postForm, dims, []int{0}); budgetOK {
+		t.Fatal("exhausted budget not reported")
+	}
+}
+
+// A transiently failing submission skips just that sample: the rest of
+// the template's sample is still probed and evaluated.
+func TestEvalTemplateSkipsFailedFetches(t *testing.T) {
+	web := webgen.NewWeb()
+	site, err := webgen.BuildSite("usedcars", 0, 42, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web.AddSite(site)
+	// Wrap the site: submissions for one make redirect-loop (a client
+	// error), everything else is served normally.
+	web.AddHandler(site.Spec.Host, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/results" && r.URL.Query().Get("make") == "poison" {
+			http.Redirect(w, r, r.URL.String(), http.StatusFound)
+			return
+		}
+		site.ServeHTTP(w, r)
+	}))
+	f := webx.NewFetcher(web)
+	page, err := f.Get(site.FormURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := url.Parse(page.URL)
+	fm, err := form.FromDecl(base, page.Forms()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSurfacer(f, DefaultConfig())
+	s.prober = &prober{fetch: f, budget: 100}
+	makes := site.Table.DistinctStrings("make")
+	if len(makes) > 9 {
+		// Keep the whole template inside one evaluation sample
+		// (SampleSize) so the poisoned binding is guaranteed probed.
+		makes = makes[:9]
+	}
+	vals := [][]string{{"poison"}}
+	for _, m := range makes {
+		vals = append(vals, []string{m})
+	}
+	dims := []Dimension{{Name: "make", Inputs: []string{"make"}, Values: vals}}
+
+	eval, budgetOK := s.evalTemplate(fm, dims, []int{0})
+	if !budgetOK {
+		t.Fatal("one failed fetch reported as budget exhaustion")
+	}
+	if eval.Sampled != len(makes) {
+		t.Fatalf("sampled %d of %d healthy submissions", eval.Sampled, len(makes))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -246,9 +247,12 @@ func (s *Surfacer) confirmType(f *form.Form, inputName, typ string) ([]string, b
 		if i >= 10 { // sample at most 10 values for confirmation
 			break
 		}
-		obs, ok := s.prober.probe(f, form.Binding{inputName: v})
-		if !ok {
+		obs, err := s.prober.probe(f, form.Binding{inputName: v})
+		if errors.Is(err, errBudget) || errors.Is(err, errUnprobeable) {
 			break
+		}
+		if err != nil {
+			continue // transient failure: try the next value
 		}
 		if obs.items > 0 {
 			hits++
@@ -272,9 +276,9 @@ func (s *Surfacer) dbSelectionDimension(f *form.Form, db *DBSelection) (Dimensio
 	// Per-option seeds come from probing the option alone: the option's
 	// own result pages are the best description of its catalog.
 	for i, opt := range opts {
-		obs, ok := s.prober.probe(f, form.Binding{db.SelectInput: opt})
+		obs, err := s.prober.probe(f, form.Binding{db.SelectInput: opt})
 		seeds := []string{}
-		if ok && obs.items > 0 {
+		if err == nil && obs.items > 0 {
 			tv := textutil.TermVector{}
 			s.toks = s.tz.ContentTokensInto(s.toks[:0], obs.text)
 			for _, tok := range s.toks {

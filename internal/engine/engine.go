@@ -25,6 +25,7 @@ import (
 	"deepweb/internal/coverage"
 	"deepweb/internal/form"
 	"deepweb/internal/index"
+	"deepweb/internal/textutil"
 	"deepweb/internal/webgen"
 	"deepweb/internal/webx"
 )
@@ -45,10 +46,29 @@ type Engine struct {
 	Results map[string]*core.Result
 	// OfflineRequests is each host's request count during surfacing
 	// analysis + ingestion — the one-time "off-line analysis" load.
+	// It meters traffic actually issued, so failed sites appear too;
+	// on an aborted run, sites cancelled before doing any work do not.
 	OfflineRequests map[string]int
 	// IngestStats aggregates ingestion accounting per host.
 	IngestStats map[string]core.IngestStats
+	// SiteSignatures records each surfaced site's backing-table content
+	// signature at surfacing time — the baseline Refresh diffs against.
+	SiteSignatures map[string]textutil.Signature
+	// CompactRatio is the tombstone fraction above which Refresh
+	// compacts the index after committing. <= 0 disables automatic
+	// compaction; compact manually with Engine.Compact, which keeps
+	// the engine's host bookkeeping in sync with the renumbered ids
+	// (a bare Index.Compact would not).
+	CompactRatio float64
+
+	// hostDocs tracks the live doc ids each host contributed (surfaced
+	// pages and crawled surface-web pages alike), so Refresh can retire
+	// a churned site's documents without scanning the whole index.
+	hostDocs map[string][]int
 }
+
+// DefaultCompactRatio is the CompactRatio new engines start with.
+const DefaultCompactRatio = 0.5
 
 // DefaultWorkers is the Workers value new engines start with.
 // Binaries raise it (before building worlds) to parallelize every
@@ -57,14 +77,23 @@ var DefaultWorkers = 1
 
 // New wraps an existing virtual internet.
 func New(web *webgen.Web) *Engine {
+	e := newEngine()
+	e.Web = web
+	e.Fetch = webx.NewFetcher(web)
+	return e
+}
+
+// newEngine builds the web-less shell shared by New and Load.
+func newEngine() *Engine {
 	return &Engine{
-		Web:             web,
-		Fetch:           webx.NewFetcher(web),
 		Index:           index.New(),
 		Workers:         DefaultWorkers,
 		Results:         map[string]*core.Result{},
 		OfflineRequests: map[string]int{},
 		IngestStats:     map[string]core.IngestStats{},
+		SiteSignatures:  map[string]textutil.Signature{},
+		CompactRatio:    DefaultCompactRatio,
+		hostDocs:        map[string][]int{},
 	}
 }
 
@@ -84,11 +113,19 @@ func (e *Engine) IndexSurfaceWeb() int {
 	c := &webx.Crawler{Fetcher: e.Fetch}
 	n := 0
 	for _, p := range c.Crawl("http://" + webgen.HubHost + "/") {
-		if _, added := e.Index.Add(index.Doc{URL: p.URL, Title: p.Title(), Text: p.Text()}); added {
+		if id, added := e.Index.Add(index.Doc{URL: p.URL, Title: p.Title(), Text: p.Text()}); added {
 			n++
+			e.trackDoc(p.URL, id)
 		}
 	}
 	return n
+}
+
+// trackDoc records a newly indexed doc id under its URL's host.
+func (e *Engine) trackDoc(rawURL string, id int) {
+	if u, err := url.Parse(rawURL); err == nil && u.Host != "" {
+		e.hostDocs[u.Host] = append(e.hostDocs[u.Host], id)
+	}
 }
 
 // SurfaceAll runs the surfacing pipeline over every site and ingests
@@ -105,12 +142,19 @@ type siteOutcome struct {
 	res      *core.Result
 	sink     *stagedSink
 	stats    core.IngestStats
+	sig      textutil.Signature
 	requests int
 	err      error
 }
 
 // SurfaceAllFiltered is SurfaceAll with the §5.2 index-admission
 // criterion applied to fetched pages.
+func (e *Engine) SurfaceAllFiltered(cfg core.Config, followNext int, filt core.IngestFilter) error {
+	return e.surfacePipeline(e.Web.Sites(), cfg, followNext, filt, e.commitOutcome)
+}
+
+// surfacePipeline runs the staged pipeline over the given sites and
+// drains outcomes through commit at the single ordered commit point.
 //
 // Concurrency contract: a site is handled end-to-end by one worker, and
 // every request it issues targets the site's own host, so per-host
@@ -118,9 +162,12 @@ type siteOutcome struct {
 // the commit loop drains outcomes in site order, assigning doc ids and
 // inserting postings. On error, sites earlier in the order are still
 // committed (matching sequential semantics) and the first error in site
-// order is returned.
-func (e *Engine) SurfaceAllFiltered(cfg core.Config, followNext int, filt core.IngestFilter) error {
-	sites := e.Web.Sites()
+// order is returned. Request metering is recorded for every site that
+// did work — including the failing site itself and any site that
+// completed before cancellation reached it — because that analysis
+// traffic really hit the hosts (§3.2 accounting); only the metering of
+// an aborted run depends on worker timing, never committed results.
+func (e *Engine) surfacePipeline(sites []*webgen.Site, cfg core.Config, followNext int, filt core.IngestFilter, commit func(*siteOutcome)) error {
 	if len(sites) == 0 {
 		return nil
 	}
@@ -171,6 +218,9 @@ func (e *Engine) SurfaceAllFiltered(cfg core.Config, followNext int, filt core.I
 		for out, ok := parked[next]; ok; out, ok = parked[next] {
 			delete(parked, next)
 			next++
+			if out.requests > 0 {
+				e.OfflineRequests[out.host] = out.requests
+			}
 			if firstErr != nil {
 				continue
 			}
@@ -179,14 +229,23 @@ func (e *Engine) SurfaceAllFiltered(cfg core.Config, followNext int, filt core.I
 				quitOnce.Do(func() { close(quit) })
 				continue
 			}
-			e.Results[out.host] = out.res
-			out.stats.Indexed = out.sink.commit()
-			e.IngestStats[out.host] = out.stats
-			e.OfflineRequests[out.host] = out.requests
+			commit(out)
 		}
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// commitOutcome is the standard bookkeeping for one successfully
+// surfaced site: drain its sink into the index and record its result,
+// stats, content signature and doc ids.
+func (e *Engine) commitOutcome(out *siteOutcome) {
+	e.Results[out.host] = out.res
+	ids := out.sink.commit()
+	out.stats.Indexed = len(ids)
+	e.IngestStats[out.host] = out.stats
+	e.SiteSignatures[out.host] = out.sig
+	e.hostDocs[out.host] = append(e.hostDocs[out.host], ids...)
 }
 
 // errCancelled marks sites skipped after an earlier site (in commit
@@ -195,14 +254,15 @@ var errCancelled = fmt.Errorf("engine: cancelled")
 
 // surfaceOne runs the per-site stages: discovery + form analysis +
 // probing + URL generation (core.Surfacer), then fetch of every emitted
-// URL into a buffering sink. No shared index state is written.
+// URL into a buffering sink. No shared index state is written. The
+// request delta is measured even on failure — the traffic was issued.
 func (e *Engine) surfaceOne(site *webgen.Site, cfg core.Config, followNext int, filt core.IngestFilter) *siteOutcome {
 	host := site.Spec.Host
 	before := e.Web.Requests(host)
 	s := core.NewSurfacer(e.Fetch, cfg)
 	res, err := s.SurfaceSite(site.HomeURL())
 	if err != nil {
-		return &siteOutcome{host: host, err: err}
+		return &siteOutcome{host: host, err: err, requests: e.Web.Requests(host) - before}
 	}
 	source := host
 	if res.Analysis.Form != nil {
@@ -215,6 +275,7 @@ func (e *Engine) surfaceOne(site *webgen.Site, cfg core.Config, followNext int, 
 		res:      res,
 		sink:     sink,
 		stats:    stats,
+		sig:      site.TableSignature(),
 		requests: e.Web.Requests(host) - before,
 	}
 }

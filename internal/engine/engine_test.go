@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"net/http"
 	"reflect"
 	"sync"
 	"testing"
@@ -185,6 +186,33 @@ func TestSurfaceAllFilteredRejects(t *testing.T) {
 	if bandRejected == 0 || bandIndexed >= plainIndexed {
 		t.Errorf("admission band had no effect: indexed %d vs %d, rejected %d",
 			bandIndexed, plainIndexed, bandRejected)
+	}
+}
+
+// A site that fails mid-surfacing still has its analysis traffic
+// metered: the requests were really issued against the host (§3.2
+// accounting), so OfflineRequests must record them even though the
+// site commits no result.
+func TestOfflineRequestsRecordedForFailedSite(t *testing.T) {
+	e, err := Build(webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First host in commit order, so the failure is deterministic and
+	// no other site's outcome depends on cancellation timing.
+	bad := e.Web.Sites()[0].Spec.Host
+	// A redirect loop makes the http.Client itself error (10-hop cap),
+	// the only way a virtual-web fetch fails.
+	e.Web.AddHandler(bad, http.RedirectHandler("http://"+bad+"/", http.StatusFound))
+	e.Workers = 2
+	if err := e.SurfaceAll(core.DefaultConfig(), 0); err == nil {
+		t.Fatal("surfacing a redirect-looping site succeeded")
+	}
+	if got := e.OfflineRequests[bad]; got == 0 {
+		t.Fatalf("failed site %s issued requests but metered 0", bad)
+	}
+	if _, committed := e.Results[bad]; committed {
+		t.Fatalf("failed site %s committed a result", bad)
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"os"
 	"sync"
 
-	"deepweb/internal/core"
 	"deepweb/internal/index"
 	"deepweb/internal/store"
+	"deepweb/internal/textutil"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webx"
 )
 
 // Persistence: Save writes the engine's index (documents, postings,
@@ -22,20 +24,30 @@ import (
 // budget: Save encodes shard segments concurrently, Load decodes and
 // re-hashes them concurrently (index.ImportTerms is shard-locked).
 
-// Save writes the index to dir as one docs segment plus one postings
-// segment per shard. Existing segments in dir are overwritten
-// atomically; a concurrent reader of the old snapshot is undisturbed.
+// Save writes the index to dir as one docs segment (including
+// tombstones, so a mutated index round-trips id-for-id), one postings
+// segment per shard, and a meta segment carrying the per-site content
+// signatures Refresh diffs against. Existing segments in dir are
+// overwritten atomically; a concurrent reader of the old snapshot is
+// undisturbed. Save must not run concurrently with Refresh or Compact.
 func (e *Engine) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	ix := e.Index
-	docs, lens := ix.ExportDocs()
+	docs, lens, dead := ix.ExportDocs()
+	var deadIDs []int
+	for id, d := range dead {
+		if d {
+			deadIDs = append(deadIDs, id)
+		}
+	}
 	shards := ix.NumShards()
 	snapID, err := store.WriteDocs(store.DocsPath(dir), shards, &store.DocsSegment{
 		Docs: docs,
 		Lens: lens,
 		Anns: ix.ExportAnnotations(),
+		Dead: deadIDs,
 	})
 	if err != nil {
 		return fmt.Errorf("engine: save docs: %w", err)
@@ -46,30 +58,37 @@ func (e *Engine) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("engine: save postings: %w", err)
 	}
+	meta := &store.MetaSegment{Sites: make([]store.SiteMeta, 0, len(e.SiteSignatures))}
+	for host, sig := range e.SiteSignatures {
+		meta.Sites = append(meta.Sites, store.SiteMeta{Host: host, Signature: uint64(sig)})
+	}
+	if err := store.WriteMeta(store.MetaPath(dir), meta); err != nil {
+		return fmt.Errorf("engine: save meta: %w", err)
+	}
 	return nil
 }
 
 // Load reads a snapshot directory written by Save and returns a
 // serving engine: its Index answers queries exactly as the saved one
-// did, but it carries no virtual web (Web and Fetch are nil), so
-// surfacing and coverage methods are off the table. Decoding
-// parallelizes with DefaultWorkers.
+// did — tombstones, live statistics and tie order included — but it
+// carries no virtual web (Web and Fetch are nil), so surfacing,
+// coverage and Refresh are off the table; use LoadWith to reattach a
+// world. Decoding parallelizes with DefaultWorkers.
 func Load(dir string) (*Engine, error) {
 	seg, hdr, err := store.ReadDocs(store.DocsPath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("engine: load docs: %w", err)
 	}
+	dead := make([]bool, len(seg.Docs))
+	for _, id := range seg.Dead {
+		dead[id] = true
+	}
 	ix := index.NewSharded(int(hdr.Shards))
-	if err := ix.ImportDocs(seg.Docs, seg.Lens); err != nil {
+	if err := ix.ImportDocs(seg.Docs, seg.Lens, dead); err != nil {
 		return nil, fmt.Errorf("engine: load: %w", err)
 	}
-	e := &Engine{
-		Index:           ix,
-		Workers:         DefaultWorkers,
-		Results:         map[string]*core.Result{},
-		OfflineRequests: map[string]int{},
-		IngestStats:     map[string]core.IngestStats{},
-	}
+	e := newEngine()
+	e.Index = ix
 	err = e.forEachShard(int(hdr.Shards), func(si int) error {
 		terms, ph, err := store.ReadPostings(store.PostingsPath(dir, si))
 		if err != nil {
@@ -86,8 +105,37 @@ func Load(dir string) (*Engine, error) {
 		return nil, fmt.Errorf("engine: load postings: %w", err)
 	}
 	for id, anns := range seg.Anns {
-		ix.Annotate(id, anns)
+		if !dead[id] {
+			ix.Annotate(id, anns)
+		}
 	}
+	// Refresh metadata is optional: a directory without it still
+	// serves; it just makes every site look changed to Refresh.
+	meta, err := store.ReadMeta(store.MetaPath(dir))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("engine: load meta: %w", err)
+	}
+	if meta != nil {
+		for _, s := range meta.Sites {
+			e.SiteSignatures[s.Host] = textutil.Signature(s.Signature)
+		}
+	}
+	e.rebuildHostDocs()
+	return e, nil
+}
+
+// LoadWith loads a snapshot and attaches it to a virtual web, giving
+// back an engine that can serve *and* refresh: the index and refresh
+// metadata come from the snapshot, the web provides the live (possibly
+// churned) sites to diff against. This is the `deepcrawl -refresh`
+// path: rebuild the world, apply the delta, refresh the snapshot.
+func LoadWith(web *webgen.Web, dir string) (*Engine, error) {
+	e, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	e.Web = web
+	e.Fetch = webx.NewFetcher(web)
 	return e, nil
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/rand"
 	"testing"
 
 	"deepweb/internal/core"
@@ -43,6 +44,41 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 	}
 	b.ReportMetric(float64(docs), "docs")
 }
+
+// BenchmarkRefresh measures one incremental freshness pass: churn a
+// third of the sites, detect the change by signature, retire the
+// changed sites' documents and re-surface only them. BenchmarkColdSurface
+// is the number it replaces — a full re-crawl of the world — so the
+// pair in CI keeps the incremental path's advantage visible and gates
+// delete/refresh regressions like the other hot paths.
+func BenchmarkRefresh(b *testing.B) {
+	e := surfacedEngine(b, 16)
+	changed, deleted, added := 0, 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Churn outside the timer: the benchmark is the refresh, not
+		// the synthetic mutation.
+		for j, s := range e.Web.Sites() {
+			if j%3 == 0 {
+				webgen.ChurnSite(s, 5, benchRNG(int64(i)))
+			}
+		}
+		b.StartTimer()
+		st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		changed += st.SitesChanged
+		deleted += st.DocsDeleted
+		added += st.DocsAdded
+	}
+	b.ReportMetric(float64(changed)/float64(b.N), "sites-refreshed")
+	b.ReportMetric(float64(deleted)/float64(b.N), "docs-retired")
+	b.ReportMetric(float64(added)/float64(b.N), "docs-added")
+}
+
+func benchRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // BenchmarkColdSurface is the re-crawl baseline BenchmarkSnapshotLoad
 // replaces: build nothing, surface the same world from scratch.

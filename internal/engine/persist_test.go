@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -196,6 +198,81 @@ func TestLoadRejectsDamagedSnapshot(t *testing.T) {
 		}
 		if _, err := Load(dir); err == nil {
 			t.Fatal("mixed-snapshot load succeeded")
+		}
+	})
+}
+
+// Load edge cases: an empty directory, a snapshot without the optional
+// semantics segment, and a version-skewed (v1) snapshot must each fail
+// — or degrade — cleanly, never panic or misread.
+func TestLoadEdgeCases(t *testing.T) {
+	t.Run("empty directory", func(t *testing.T) {
+		// The directory exists but holds no segments: "no snapshot
+		// here", distinguishable from corruption.
+		if _, err := Load(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("want not-exist, got %v", err)
+		}
+	})
+	t.Run("missing semantics segment", func(t *testing.T) {
+		// Engine.Save writes no tables segment; the index must load
+		// anyway (the segment is optional) while LoadSemantics reports
+		// the absence cleanly.
+		e := surfacedEngine(t, 4)
+		dir := t.TempDir()
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(dir)
+		if err != nil {
+			t.Fatalf("index-only snapshot rejected: %v", err)
+		}
+		if loaded.Index.Len() != e.Index.Len() {
+			t.Fatalf("loaded %d of %d docs", loaded.Index.Len(), e.Index.Len())
+		}
+		if _, err := LoadSemantics(dir); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("missing tables segment: want not-exist, got %v", err)
+		}
+	})
+	t.Run("missing meta segment", func(t *testing.T) {
+		// A snapshot stripped of refresh metadata still serves; it just
+		// carries no site signatures.
+		e := surfacedEngine(t, 4)
+		dir := t.TempDir()
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(store.MetaPath(dir)); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(dir)
+		if err != nil {
+			t.Fatalf("meta-less snapshot rejected: %v", err)
+		}
+		if len(loaded.SiteSignatures) != 0 {
+			t.Fatalf("signatures from nowhere: %v", loaded.SiteSignatures)
+		}
+	})
+	t.Run("v1 version skew", func(t *testing.T) {
+		// A v1-era segment (version field 1, CRCs resealed) must come
+		// back as a clean ErrVersion from the whole-engine Load.
+		e := surfacedEngine(t, 4)
+		dir := t.TempDir()
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		path := store.DocsPath(dir)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint16(raw[4:6], 1)
+		binary.LittleEndian.PutUint32(raw[36:40], crc32.Checksum(raw[44:], crc32.MakeTable(crc32.Castagnoli)))
+		binary.LittleEndian.PutUint32(raw[40:44], crc32.Checksum(raw[0:40], crc32.MakeTable(crc32.Castagnoli)))
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); !errors.Is(err, store.ErrVersion) {
+			t.Fatalf("v1 docs segment: want ErrVersion, got %v", err)
 		}
 	})
 }

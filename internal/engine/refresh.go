@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+
+	"deepweb/internal/core"
+	"deepweb/internal/index"
+	"deepweb/internal/webgen"
+)
+
+// Refresh: the freshness half of the paper's economics. Surfacing is
+// an expensive offline pass, but the underlying databases churn —
+// listings appear, change and vanish — and re-surfacing the whole web
+// to chase a few changed sites wastes exactly the analysis budget the
+// paper works to minimize. Refresh re-surfaces only the sites whose
+// backing content actually moved, detected by comparing each site's
+// current table signature against the one recorded when it was last
+// surfaced (SiteSignatures, persisted in the snapshot meta segment).
+//
+// For each changed site it retires the site's old documents (surfaced
+// result pages and crawled surface-web pages alike) through the
+// index's tombstone path, re-runs the full per-site pipeline on the
+// worker pool, and commits through the same ordered commit point as
+// SurfaceAll — so Results, IngestStats, OfflineRequests, coverage and
+// per-source accounting come out exactly as a from-scratch surface of
+// the changed site would produce. When tombstones pile past
+// CompactRatio, the index is compacted (and doc ids renumbered into
+// canonical URL order).
+
+// RefreshStats summarizes one Refresh pass.
+type RefreshStats struct {
+	SitesChecked int // sites whose signature was recomputed
+	SitesChanged int // sites re-surfaced because it moved
+	DocsDeleted  int // documents tombstoned
+	DocsAdded    int // documents newly committed
+	SurfacePages int // previously crawled surface-web pages refetched
+	Compacted    bool
+}
+
+// Refresh re-surfaces the sites in hosts (nil = every site) whose
+// content changed since they were last surfaced. A host with no
+// recorded signature counts as changed. The engine must carry a
+// virtual web (built or attached via LoadWith); a Load-ed engine
+// without one cannot refresh.
+func (e *Engine) Refresh(cfg core.Config, followNext int, hosts []string) (RefreshStats, error) {
+	var st RefreshStats
+	if e.Web == nil {
+		return st, fmt.Errorf("engine: refresh: no web attached (use LoadWith)")
+	}
+	var want map[string]bool
+	if hosts != nil {
+		want = make(map[string]bool, len(hosts))
+		for _, h := range hosts {
+			want[h] = true
+		}
+	}
+
+	// Detect churn site by site, in host order.
+	var changed []*webgen.Site
+	for _, site := range e.Web.Sites() {
+		host := site.Spec.Host
+		if want != nil && !want[host] {
+			continue
+		}
+		st.SitesChecked++
+		sig := site.TableSignature()
+		if old, ok := e.SiteSignatures[host]; ok && old == sig {
+			continue
+		}
+		changed = append(changed, site)
+	}
+	if len(changed) == 0 {
+		return st, nil
+	}
+	st.SitesChanged = len(changed)
+
+	// Retire the changed sites' *surfaced* documents before any worker
+	// fetches: the sinks' dedup consults the shared index, and a stale
+	// entry would make re-ingestion skip the very pages being
+	// refreshed. Crawled surface-web pages (Source == "") are NOT
+	// retired here — they cannot collide with surfaced URLs (the crawl
+	// never follows query URLs), and deferring their delete+refetch to
+	// the commit step keeps a failed pass recoverable: if a site's
+	// pipeline errors, its surface pages are merely stale, not gone,
+	// and the still-mismatched signature re-drives them next Refresh.
+	for _, site := range changed {
+		host := site.Spec.Host
+		var surfaceIDs []int
+		for _, id := range e.hostDocs[host] {
+			if e.Index.Doc(id).Source == "" {
+				surfaceIDs = append(surfaceIDs, id)
+				continue
+			}
+			if e.Index.Delete(id) {
+				st.DocsDeleted++
+			}
+		}
+		e.hostDocs[host] = surfaceIDs
+	}
+
+	// Re-surface on the shared pipeline. At each site's commit point
+	// the old surface-web pages are swapped for freshly fetched ones
+	// before the sink drains, mirroring a from-scratch run where the
+	// crawl indexes them ahead of surfacing.
+	err := e.surfacePipeline(changed, cfg, followNext, core.IngestFilter{}, func(out *siteOutcome) {
+		oldSurface := e.hostDocs[out.host]
+		e.hostDocs[out.host] = nil
+		for _, id := range oldSurface {
+			u := e.Index.Doc(id).URL
+			if e.Index.Delete(id) {
+				st.DocsDeleted++
+			}
+			page, err := e.Fetch.Get(u)
+			if err != nil || page.Status != 200 {
+				continue // the page vanished; its tombstone stands
+			}
+			if nid, added := e.Index.Add(index.Doc{URL: u, Title: page.Title(), Text: page.Text()}); added {
+				e.trackDoc(u, nid)
+				st.SurfacePages++
+				st.DocsAdded++
+			}
+		}
+		e.commitOutcome(out)
+		st.DocsAdded += out.stats.Indexed
+	})
+	if err != nil {
+		return st, err
+	}
+
+	if e.CompactRatio > 0 && e.Index.TombstoneRatio() >= e.CompactRatio {
+		e.Compact()
+		st.Compacted = true
+	}
+	return st, nil
+}
+
+// Compact compacts the index (dropping tombstones and renumbering doc
+// ids into canonical URL order) and re-derives the engine's host
+// bookkeeping. Always compact an engine-held index through this method
+// — a bare Index.Compact() leaves the engine tracking pre-renumbering
+// ids, and a later Refresh would retire the wrong documents.
+func (e *Engine) Compact() int {
+	reclaimed := e.Index.Compact()
+	e.rebuildHostDocs()
+	return reclaimed
+}
+
+// rebuildHostDocs re-derives the host → doc-id map from the live
+// document table; needed after Compact renumbers ids and after Load.
+func (e *Engine) rebuildHostDocs() {
+	e.hostDocs = map[string][]int{}
+	e.Index.ForEachLive(func(id int, d index.Doc) {
+		e.trackDoc(d.URL, id)
+	})
+}

@@ -1,0 +1,375 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"deepweb/internal/core"
+	"deepweb/internal/index"
+	"deepweb/internal/webgen"
+)
+
+// refreshWorldCfg is shared by both arms of every equivalence test so
+// the two worlds are byte-identical before churn.
+var refreshWorldCfg = webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 50}
+
+// churnSubset deterministically mutates every third site (by host
+// order), leaving the rest untouched, so a refresh has both changed
+// sites to re-surface and unchanged sites to skip.
+func churnSubset(web *webgen.Web, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	churned := 0
+	for i, s := range web.Sites() {
+		if i%3 != 0 {
+			continue
+		}
+		webgen.ChurnSite(s, 6, rng)
+		churned++
+	}
+	return churned
+}
+
+// freshEngine builds and fully surfaces a world on the parallel path.
+func freshEngine(t *testing.T, shards int) *Engine {
+	t.Helper()
+	e, err := Build(refreshWorldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Index = index.NewSharded(shards)
+	e.Workers = 4
+	if e.IndexSurfaceWeb() == 0 {
+		t.Fatal("surface-web crawl indexed nothing")
+	}
+	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// urlScores flattens a full-corpus search (k = live corpus size) into
+// URL → score-bits, the id-free view of a result set.
+func urlScores(t *testing.T, ix *index.Index, q string) map[string]uint64 {
+	t.Helper()
+	out := map[string]uint64{}
+	for _, r := range ix.Search(q, ix.Len()+1) {
+		if _, dup := out[r.URL]; dup {
+			t.Fatalf("Search(%q) returned URL %q twice", q, r.URL)
+		}
+		out[r.URL] = math.Float64bits(r.Score)
+	}
+	return out
+}
+
+// The acceptance bar of the freshness pipeline, in three tiers.
+//
+// Tier 1 (uncompacted): after churning N sites and Refreshing, the
+// live corpus — URL set, per-URL score bits, live doc count, per-host
+// results/stats/coverage — is identical to a from-scratch SurfaceAll
+// of the churned world. Doc ids differ (the refreshed index appended
+// re-surfaced documents after tombstones), so results are compared by
+// URL.
+//
+// Tier 2 (snapshot): a Save/Load round trip of the refreshed, still
+// tombstoned engine reproduces its Search output bit-for-bit — ids,
+// scores, tie order — which is what pins the tombstone persistence.
+//
+// Tier 3 (compacted): Compact renumbers into canonical URL order, so
+// after compacting BOTH engines their Search outputs match
+// reflect.DeepEqual exactly: same ids, same score bits, same tie
+// order. Run with -race; both arms surface on 4 workers.
+func TestRefreshMatchesFromScratch(t *testing.T) {
+	for _, shards := range []int{1, 4, index.DefaultShards} {
+		// Arm 1: surface, churn, refresh incrementally.
+		refreshed := freshEngine(t, shards)
+		refreshed.CompactRatio = 0 // keep tombstones; tier 3 compacts explicitly
+		churned := churnSubset(refreshed.Web, 99)
+		st, err := refreshed.Refresh(core.DefaultConfig(), 3, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: refresh: %v", shards, err)
+		}
+		if st.SitesChanged == 0 || st.SitesChanged > churned {
+			t.Fatalf("shards=%d: %d of %d churned sites refreshed", shards, st.SitesChanged, churned)
+		}
+		if st.SitesChecked != len(refreshed.Web.Sites()) {
+			t.Errorf("shards=%d: checked %d of %d sites", shards, st.SitesChecked, len(refreshed.Web.Sites()))
+		}
+		if st.DocsDeleted == 0 || st.DocsAdded == 0 || st.SurfacePages == 0 {
+			t.Errorf("shards=%d: degenerate refresh: %+v", shards, st)
+		}
+		if refreshed.Index.Deleted() != st.DocsDeleted {
+			t.Errorf("shards=%d: %d tombstones for %d deletions", shards, refreshed.Index.Deleted(), st.DocsDeleted)
+		}
+
+		// Arm 2: churn the same way, then surface from scratch.
+		scratch, err := Build(refreshWorldCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch.Index = index.NewSharded(shards)
+		scratch.Workers = 4
+		churnSubset(scratch.Web, 99)
+		if scratch.IndexSurfaceWeb() == 0 {
+			t.Fatal("surface-web crawl indexed nothing")
+		}
+		if err := scratch.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+			t.Fatal(err)
+		}
+
+		// Tier 1: identical live corpus and metrics, compared id-free.
+		if a, b := refreshed.Index.Len(), scratch.Index.Len(); a != b {
+			t.Fatalf("shards=%d: live docs %d vs scratch %d", shards, a, b)
+		}
+		if !reflect.DeepEqual(refreshed.Index.DocsBySource(), scratch.Index.DocsBySource()) {
+			t.Errorf("shards=%d: per-source counts differ", shards)
+		}
+		if !reflect.DeepEqual(refreshed.IngestStats, scratch.IngestStats) {
+			t.Errorf("shards=%d: ingest stats differ:\n  refreshed %v\n  scratch %v", shards, refreshed.IngestStats, scratch.IngestStats)
+		}
+		if !reflect.DeepEqual(refreshed.OfflineRequests, scratch.OfflineRequests) {
+			t.Errorf("shards=%d: offline requests differ:\n  refreshed %v\n  scratch %v", shards, refreshed.OfflineRequests, scratch.OfflineRequests)
+		}
+		if !reflect.DeepEqual(refreshed.SiteSignatures, scratch.SiteSignatures) {
+			t.Errorf("shards=%d: site signatures differ", shards)
+		}
+		for host, res := range scratch.Results {
+			got := refreshed.Results[host]
+			if got == nil || !reflect.DeepEqual(got.URLs, res.URLs) {
+				t.Errorf("shards=%d: %s: surfaced URLs differ", shards, host)
+			}
+		}
+		if a, b := refreshed.MeanCoverage(), scratch.MeanCoverage(); a != b {
+			t.Errorf("shards=%d: coverage %v vs %v", shards, a, b)
+		}
+		for _, q := range persistQueries {
+			if a, b := urlScores(t, refreshed.Index, q), urlScores(t, scratch.Index, q); !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: Search(%q) live corpora differ (%d vs %d URLs)", shards, q, len(a), len(b))
+			}
+		}
+
+		// Tier 2: the tombstoned engine round-trips through a snapshot
+		// bit-for-bit, ids and tie order included.
+		dir := t.TempDir()
+		if err := refreshed.Save(dir); err != nil {
+			t.Fatalf("shards=%d: save: %v", shards, err)
+		}
+		loaded, err := Load(dir)
+		if err != nil {
+			t.Fatalf("shards=%d: load: %v", shards, err)
+		}
+		if loaded.Index.Deleted() != refreshed.Index.Deleted() {
+			t.Errorf("shards=%d: tombstones %d became %d across snapshot", shards, refreshed.Index.Deleted(), loaded.Index.Deleted())
+		}
+		if !reflect.DeepEqual(loaded.SiteSignatures, refreshed.SiteSignatures) {
+			t.Errorf("shards=%d: site signatures lost across snapshot", shards)
+		}
+		for _, q := range persistQueries {
+			if a, b := refreshed.Index.Search(q, 10), loaded.Index.Search(q, 10); !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: Search(%q) differs across snapshot:\n  live   %v\n  loaded %v", shards, q, a, b)
+			}
+			if a, b := refreshed.Index.AnnotatedSearch(q, 10), loaded.Index.AnnotatedSearch(q, 10); !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: AnnotatedSearch(%q) differs across snapshot", shards, q)
+			}
+		}
+
+		// Tier 3: compaction is a normal form — both engines land on
+		// identical ids, scores and tie order. (Engine.Compact, not
+		// Index.Compact: the engine must re-derive its host tracking
+		// after the renumbering.)
+		if got := refreshed.Compact(); got != st.DocsDeleted {
+			t.Errorf("shards=%d: compact reclaimed %d of %d tombstones", shards, got, st.DocsDeleted)
+		}
+		scratch.Compact()
+		if refreshed.Index.Deleted() != 0 {
+			t.Errorf("shards=%d: tombstones survived compact", shards)
+		}
+		for _, q := range persistQueries {
+			a, b := refreshed.Index.Search(q, 10), scratch.Index.Search(q, 10)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: post-compact Search(%q) differs:\n  refreshed %v\n  scratch   %v", shards, q, a, b)
+				continue
+			}
+			for i := range a {
+				if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+					t.Errorf("shards=%d: post-compact Search(%q) hit %d: score bits differ", shards, q, i)
+				}
+			}
+			if a, b := refreshed.Index.AnnotatedSearch(q, 10), scratch.Index.AnnotatedSearch(q, 10); !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d: post-compact AnnotatedSearch(%q) differs", shards, q)
+			}
+		}
+	}
+}
+
+// The deepcrawl -refresh path: persist a surfaced world, rebuild the
+// world from config, churn it, reattach the snapshot with LoadWith and
+// refresh. The refreshed snapshot must match a from-scratch surface of
+// the churned world after both compact to canonical form.
+func TestLoadWithRefreshAgainstSnapshot(t *testing.T) {
+	orig := freshEngine(t, 4)
+	dir := t.TempDir()
+	if err := orig.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	web2, err := webgen.BuildWorld(refreshWorldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnSubset(web2, 4242)
+	e, err := LoadWith(web2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = 4
+	e.CompactRatio = 0
+	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SitesChanged == 0 {
+		t.Fatalf("nothing refreshed: %+v", st)
+	}
+
+	scratch, err := Build(refreshWorldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch.Index = index.NewSharded(4)
+	scratch.Workers = 4
+	churnSubset(scratch.Web, 4242)
+	scratch.IndexSurfaceWeb()
+	if err := scratch.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	e.Compact()
+	scratch.Compact()
+	for _, q := range persistQueries {
+		if a, b := e.Index.Search(q, 10), scratch.Index.Search(q, 10); !reflect.DeepEqual(a, b) {
+			t.Errorf("Search(%q) differs:\n  refreshed %v\n  scratch   %v", q, a, b)
+		}
+	}
+}
+
+// Refreshing an unchanged world is a no-op: nothing deleted, nothing
+// added, no site re-surfaced.
+func TestRefreshUnchangedWorldNoOp(t *testing.T) {
+	e := freshEngine(t, 4)
+	docs := e.Index.Len()
+	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SitesChanged != 0 || st.DocsDeleted != 0 || st.DocsAdded != 0 {
+		t.Fatalf("no-op refresh did work: %+v", st)
+	}
+	if e.Index.Len() != docs || e.Index.Deleted() != 0 {
+		t.Fatalf("no-op refresh mutated the index: %d docs, %d tombstones", e.Index.Len(), e.Index.Deleted())
+	}
+}
+
+// A host filter restricts both checking and re-surfacing.
+func TestRefreshHostFilter(t *testing.T) {
+	e := freshEngine(t, 4)
+	e.CompactRatio = 0
+	churnSubset(e.Web, 7) // churns sites 0, 3, 6 … by host order
+	hosts := []string{e.Web.Sites()[0].Spec.Host}
+	st, err := e.Refresh(core.DefaultConfig(), 3, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SitesChecked != 1 {
+		t.Fatalf("checked %d sites, want 1", st.SitesChecked)
+	}
+	if st.SitesChanged != 1 {
+		t.Fatalf("refreshed %d sites, want 1", st.SitesChanged)
+	}
+}
+
+// A Refresh pass that fails mid-pipeline must be recoverable: the
+// failing site's surfaced docs are retired, but its crawled
+// surface-web pages survive (stale, not gone), and a retry after the
+// fault clears converges on the same corpus as a from-scratch surface.
+func TestRefreshFailureThenRetryConverges(t *testing.T) {
+	e := freshEngine(t, 4)
+	e.CompactRatio = 0
+	site := e.Web.Sites()[0]
+	host := site.Spec.Host
+	rng := rand.New(rand.NewSource(55))
+	webgen.ChurnSite(site, 6, rng)
+
+	// Poison the churned host so its re-surfacing fails mid-refresh.
+	e.Web.AddHandler(host, http.RedirectHandler("http://"+host+"/", http.StatusFound))
+	if _, err := e.Refresh(core.DefaultConfig(), 3, nil); err == nil {
+		t.Fatal("refresh of a redirect-looping site succeeded")
+	}
+	// Surface-web pages of the failed site must still be live.
+	if !e.Index.Has("http://" + host + "/") {
+		t.Fatal("failed refresh dropped the site's homepage from the index")
+	}
+
+	// Fault clears; the retry re-surfaces the site (its signature is
+	// still unrecorded) and swaps the surface pages.
+	e.Web.AddHandler(host, site)
+	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SitesChanged != 1 || st.SurfacePages == 0 {
+		t.Fatalf("retry did not recover the site: %+v", st)
+	}
+
+	scratch, err := Build(refreshWorldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch.Index = index.NewSharded(4)
+	scratch.Workers = 4
+	webgen.ChurnSite(scratch.Web.Sites()[0], 6, rand.New(rand.NewSource(55)))
+	scratch.IndexSurfaceWeb()
+	if err := scratch.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		t.Fatal(err)
+	}
+	e.Compact()
+	scratch.Compact()
+	for _, q := range persistQueries {
+		if a, b := e.Index.Search(q, 10), scratch.Index.Search(q, 10); !reflect.DeepEqual(a, b) {
+			t.Errorf("Search(%q) differs after recovery:\n  refreshed %v\n  scratch   %v", q, a, b)
+		}
+	}
+}
+
+// Past the tombstone threshold, Refresh compacts automatically and the
+// engine's host tracking survives the renumbering (a second refresh
+// still works).
+func TestRefreshAutoCompacts(t *testing.T) {
+	e := freshEngine(t, 4)
+	e.CompactRatio = 0.01 // any churn at all triggers compaction
+	churnSubset(e.Web, 99)
+	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Compacted {
+		t.Fatalf("refresh did not compact: %+v", st)
+	}
+	if e.Index.Deleted() != 0 {
+		t.Fatalf("%d tombstones after compaction", e.Index.Deleted())
+	}
+	// The renumbered engine must still refresh correctly.
+	churnSubset(e.Web, 100)
+	st2, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.SitesChanged == 0 {
+		t.Fatalf("post-compact refresh found nothing: %+v", st2)
+	}
+	if got := e.Index.Search("used ford focus", 5); len(got) == 0 {
+		t.Fatal("post-compact refreshed index answers nothing")
+	}
+}

@@ -60,17 +60,17 @@ func (s *stagedSink) Annotate(docID int, anns map[string]string) {
 }
 
 // commit drains the buffer into the shared index in arrival order and
-// returns how many documents were newly indexed. Called from the
+// returns the ids of the documents newly indexed. Called from the
 // engine's single committer, so ids come out identical for any worker
 // count.
-func (s *stagedSink) commit() int {
-	indexed := 0
+func (s *stagedSink) commit() []int {
+	var indexed []int
 	for i, p := range s.docs {
 		id, added := s.global.AddPrepared(p)
 		if !added {
 			continue
 		}
-		indexed++
+		indexed = append(indexed, id)
 		if len(s.anns[i]) > 0 {
 			s.global.Annotate(id, s.anns[i])
 		}

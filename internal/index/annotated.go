@@ -63,6 +63,39 @@ func (ix *Index) Annotate(docID int, anns map[string]string) {
 	}
 }
 
+// deleteDoc drops a deleted document's annotations and releases its
+// vocabulary support, so a value that survives only on dead documents
+// stops steering AnnotatedSearch.
+func (st *annStore) deleteDoc(docID int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for attr, v := range st.anns[docID] {
+		if vv := st.vocab[attr]; vv != nil {
+			if vv[v]--; vv[v] <= 0 {
+				delete(vv, v)
+			}
+			if len(vv) == 0 {
+				delete(st.vocab, attr)
+			}
+		}
+	}
+	delete(st.anns, docID)
+}
+
+// remap renumbers annotations through newID (-1 drops a document);
+// Compact calls it after renumbering the document table.
+func (st *annStore) remap(newID []int32) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	anns := make(map[int]map[string]string, len(st.anns))
+	for id, m := range st.anns {
+		if id >= 0 && id < len(newID) && newID[id] >= 0 {
+			anns[int(newID[id])] = m
+		}
+	}
+	st.anns = anns
+}
+
 // AnnotationsOf returns a document's annotations (nil if none).
 func (ix *Index) AnnotationsOf(docID int) map[string]string {
 	st := ix.annotations()

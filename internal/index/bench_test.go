@@ -38,6 +38,22 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchWithTombstones is BenchmarkSearch over the same
+// corpus with 30% of it deleted: the price of the tombstone-aware
+// scoring pass (live-df counting plus the per-posting skip). Diffed in
+// CI against BenchmarkSearch so delete-path regressions gate PRs.
+func BenchmarkSearchWithTombstones(b *testing.B) {
+	ix := benchIndex(5000)
+	for i := 0; i < 5000; i += 3 {
+		ix.Delete(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("ford focus seattle", 10)
+	}
+}
+
 func BenchmarkAnnotatedSearch(b *testing.B) {
 	ix := benchIndex(5000)
 	for i := 0; i < 5000; i++ {

@@ -1,0 +1,90 @@
+package index
+
+import "sort"
+
+// Compaction. Delete leaves tombstones: dead rows in the document
+// table and dead entries in posting lists that every query pays to
+// skip. Compact rewrites the index to hold only live documents — and,
+// deliberately, does more than garbage-collect: it renumbers the live
+// documents in URL order (URLs are unique, so the order is total).
+//
+// Renumbering makes compaction a normal form: two indexes holding the
+// same live corpus — however they got there, build-once or
+// build-delete-rebuild in any interleaving — compact to states whose
+// Search output is bit-identical, ids and tie order included. That is
+// the property the freshness pipeline is tested against (refresh a
+// churned world incrementally, surface the same world from scratch,
+// compact both, compare). The cost is that doc ids are not stable
+// across a Compact; callers holding ids across it (there are none in
+// this codebase — ids live inside one query or one snapshot
+// generation) must re-resolve by URL.
+
+// Compact rewrites the document table and every posting list, dropping
+// tombstones and renumbering live documents in URL order. It returns
+// the number of documents reclaimed. Compact must not run concurrently
+// with writers (Add/AddPrepared/Delete/Annotate); concurrent Searches
+// are safe — they serialize against the table lock and see either the
+// old or the new state in full.
+func (ix *Index) Compact() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	reclaimed := ix.numDead
+	// Live ids in URL order become the new identity space.
+	order := make([]int32, 0, len(ix.docs)-ix.numDead)
+	for id := range ix.docs {
+		if !ix.dead[id] {
+			order = append(order, int32(id))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return ix.docs[order[i]].URL < ix.docs[order[j]].URL
+	})
+	newID := make([]int32, len(ix.docs))
+	for i := range newID {
+		newID[i] = -1
+	}
+	for to, from := range order {
+		newID[from] = int32(to)
+	}
+
+	// Rebuild the document table in the new order.
+	docs := make([]Doc, len(order))
+	lens := make([]int, len(order))
+	byURL := make(map[string]int, len(order))
+	totalLen := 0
+	for to, from := range order {
+		docs[to] = ix.docs[from]
+		lens[to] = ix.lens[from]
+		byURL[docs[to].URL] = to
+		totalLen += lens[to]
+	}
+	ix.docs, ix.lens, ix.byURL, ix.totalLen = docs, lens, byURL, totalLen
+	ix.dead = make([]bool, len(docs))
+	ix.numDead, ix.deadLen = 0, 0
+	// bySource already excludes deleted docs (Delete decrements it).
+
+	// Rewrite postings: drop dead entries, remap survivors, restore
+	// ascending-id order under the new numbering.
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+		for term, plist := range sh.postings {
+			kept := plist[:0]
+			for _, p := range plist {
+				if id := newID[p.doc]; id >= 0 {
+					kept = append(kept, posting{doc: id, tf: p.tf})
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.postings, term)
+				continue
+			}
+			sort.Slice(kept, func(i, j int) bool { return kept[i].doc < kept[j].doc })
+			sh.postings[term] = kept
+		}
+		sh.mu.Unlock()
+	}
+
+	ix.annotations().remap(newID)
+	return reclaimed
+}

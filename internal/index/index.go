@@ -71,6 +71,15 @@ type Index struct {
 	bySource map[string]int
 	totalLen int
 
+	// Tombstones: Delete marks a document dead instead of rewriting
+	// postings. dead is parallel to docs; numDead and deadLen keep the
+	// live document count and live total length O(1), so BM25's N and
+	// avgdl always reflect the live corpus. Postings still reference
+	// dead ids until Compact rewrites them; Search skips them.
+	dead    []bool
+	numDead int
+	deadLen int
+
 	shards []*shard
 	seed   maphash.Seed
 
@@ -199,6 +208,7 @@ func (ix *Index) AddPrepared(p *Prepared) (id int, added bool) {
 	ix.docs = append(ix.docs, p.doc)
 	ix.byURL[p.doc.URL] = id
 	ix.lens = append(ix.lens, p.dl)
+	ix.dead = append(ix.dead, false)
 	ix.totalLen += p.dl
 	if p.doc.Source != "" {
 		ix.bySource[p.doc.Source]++
@@ -249,11 +259,60 @@ func (ix *Index) AddPrepared(p *Prepared) (id int, added bool) {
 	return id, true
 }
 
-// Len returns the number of documents.
+// Delete tombstones a document: it stops answering queries and
+// contributing to BM25 statistics immediately, its URL becomes free for
+// re-insertion, and its annotations are dropped. Postings are left in
+// place (Search skips them) until Compact reclaims the space. Returns
+// false for an unknown or already-deleted id.
+func (ix *Index) Delete(id int) bool {
+	ix.mu.Lock()
+	if id < 0 || id >= len(ix.docs) || ix.dead[id] {
+		ix.mu.Unlock()
+		return false
+	}
+	ix.dead[id] = true
+	ix.numDead++
+	ix.deadLen += ix.lens[id]
+	d := ix.docs[id]
+	// byURL points at the live holder of a URL; guard against a stale
+	// mapping in case the URL was re-added after an earlier delete.
+	if cur, ok := ix.byURL[d.URL]; ok && cur == id {
+		delete(ix.byURL, d.URL)
+	}
+	if d.Source != "" {
+		if ix.bySource[d.Source]--; ix.bySource[d.Source] == 0 {
+			delete(ix.bySource, d.Source)
+		}
+	}
+	ix.mu.Unlock()
+	ix.annotations().deleteDoc(id)
+	return true
+}
+
+// Len returns the number of live (searchable) documents: tombstoned
+// documents are excluded.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.docs)
+	return len(ix.docs) - ix.numDead
+}
+
+// Deleted returns the number of tombstoned documents awaiting Compact.
+func (ix *Index) Deleted() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.numDead
+}
+
+// TombstoneRatio is deleted documents over the full document table —
+// the statistic compaction policies threshold on.
+func (ix *Index) TombstoneRatio() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 {
+		return 0
+	}
+	return float64(ix.numDead) / float64(len(ix.docs))
 }
 
 // Has reports whether a URL is already indexed.
@@ -281,17 +340,34 @@ func (ix *Index) plist(term string) []posting {
 	return sh.postings[term]
 }
 
-// DF returns the document frequency of a (raw) term after the standard
-// pipeline is applied to it.
+// DF returns the live document frequency of a (raw) term after the
+// standard pipeline is applied to it; tombstoned documents don't count.
 func (ix *Index) DF(term string) int {
 	sc := searchPool.Get().(*searchScratch)
 	qterms := sc.tz.StemmedTokensInto(sc.qterms[:0], term)
 	df := 0
 	if len(qterms) > 0 {
-		df = len(ix.plist(qterms[0]))
+		ix.mu.RLock()
+		df = ix.liveDFLocked(ix.plist(qterms[0]))
+		ix.mu.RUnlock()
 	}
 	sc.qterms = qterms[:0]
 	searchPool.Put(sc)
+	return df
+}
+
+// liveDFLocked counts the live postings in a list. The caller holds
+// ix.mu read-side; with no tombstones it is O(1).
+func (ix *Index) liveDFLocked(plist []posting) int {
+	if ix.numDead == 0 {
+		return len(plist)
+	}
+	df := 0
+	for _, p := range plist {
+		if !ix.dead[p.doc] {
+			df++
+		}
+	}
 	return df
 }
 
@@ -316,7 +392,8 @@ var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
 // Search returns the top-k BM25 hits for a free-text query, merging
 // posting lists across shards. Ties break by ascending doc id so
-// results are deterministic.
+// results are deterministic. Tombstoned documents neither match nor
+// influence scoring: N, avgdl and df all describe the live corpus.
 func (ix *Index) Search(query string, k int) []Result {
 	if k <= 0 {
 		return nil
@@ -331,18 +408,25 @@ func (ix *Index) Search(query string, k int) []Result {
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	n := len(ix.docs)
-	if n == 0 {
+	tableN := len(ix.docs)
+	live := tableN - ix.numDead
+	if live == 0 {
 		return nil
 	}
-	avgdl := float64(ix.totalLen) / float64(n)
+	// Every BM25 statistic reads the *live* corpus — document count,
+	// average length, per-term document frequency — so scores after a
+	// Delete are bit-identical to an index that never held the deleted
+	// documents.
+	avgdl := float64(ix.totalLen-ix.deadLen) / float64(live)
 	if avgdl == 0 {
 		avgdl = 1
 	}
-	if cap(sc.scores) < n {
-		sc.scores = make([]float64, n)
+	// The accumulator is indexed by doc id, so it spans the full table
+	// including tombstoned rows.
+	if cap(sc.scores) < tableN {
+		sc.scores = make([]float64, tableN)
 	} else {
-		sc.scores = sc.scores[:n]
+		sc.scores = sc.scores[:tableN]
 	}
 	scores := sc.scores
 	touched := sc.touched[:0]
@@ -351,6 +435,7 @@ func (ix *Index) Search(query string, k int) []Result {
 	// denominator = tf + c0 + c1*dl.
 	c0 := bm25K1 * (1 - bm25B)
 	c1 := bm25K1 * bm25B / avgdl
+	dead, hasDead := ix.dead, ix.numDead > 0
 	for qi, t := range qterms {
 		dup := false
 		for _, prev := range qterms[:qi] {
@@ -363,10 +448,29 @@ func (ix *Index) Search(query string, k int) []Result {
 			continue
 		}
 		plist := ix.plist(t)
-		if len(plist) == 0 {
+		df := len(plist)
+		if hasDead {
+			df = ix.liveDFLocked(plist)
+		}
+		if df == 0 {
 			continue
 		}
-		w := idf(n, len(plist)) * (bm25K1 + 1)
+		w := idf(live, df) * (bm25K1 + 1)
+		if hasDead {
+			// Tombstone-aware pass: dead postings contribute nothing.
+			for _, p := range plist {
+				if dead[p.doc] {
+					continue
+				}
+				s := scores[p.doc]
+				if s == 0 {
+					touched = append(touched, p.doc)
+				}
+				tf := float64(p.tf)
+				scores[p.doc] = s + w*tf/(tf+c0+c1*float64(ix.lens[p.doc]))
+			}
+			continue
+		}
 		for _, p := range plist {
 			// Postings never reference rows beyond this query's table
 			// snapshot: AddPrepared publishes the doc row under the table

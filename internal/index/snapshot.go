@@ -57,16 +57,21 @@ func (ix *Index) ExportShard(si int) []TermPostings {
 	return out
 }
 
-// ExportDocs returns copies of the document table and the per-document
-// term lengths, both indexed by doc id.
-func (ix *Index) ExportDocs() (docs []Doc, lens []int) {
+// ExportDocs returns copies of the document table, the per-document
+// term lengths and the tombstone flags, all indexed by doc id. A dead
+// entry is a deleted document whose postings have not been compacted
+// away yet; persisting it keeps doc ids — and therefore Search tie
+// order — stable across a snapshot round trip of a mutated index.
+func (ix *Index) ExportDocs() (docs []Doc, lens []int, dead []bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	docs = make([]Doc, len(ix.docs))
 	copy(docs, ix.docs)
 	lens = make([]int, len(ix.lens))
 	copy(lens, ix.lens)
-	return docs, lens
+	dead = make([]bool, len(ix.dead))
+	copy(dead, ix.dead)
+	return docs, lens, dead
 }
 
 // ExportAnnotations returns a copy of every document's annotations
@@ -86,13 +91,35 @@ func (ix *Index) ExportAnnotations() map[int]map[string]string {
 	return out
 }
 
+// ForEachLive calls fn for every live document in ascending id order,
+// under the table read lock — the copy-free way to walk the corpus.
+// fn must not call back into the index.
+func (ix *Index) ForEachLive(fn func(id int, d Doc)) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for id, d := range ix.docs {
+		if !ix.dead[id] {
+			fn(id, d)
+		}
+	}
+}
+
 // ImportDocs installs a decoded document table into an empty index,
-// rebuilding the URL and source lookup structures and the total length
-// BM25 normalizes by. It refuses a non-empty index: snapshots restore
-// whole worlds, they do not merge into live ones.
-func (ix *Index) ImportDocs(docs []Doc, lens []int) error {
+// rebuilding the URL and source lookup structures and the live-corpus
+// counters BM25 reads. dead marks tombstoned rows (nil = none): they
+// get no URL or source entry and are subtracted from the live totals,
+// exactly the state Delete leaves behind. It refuses a non-empty
+// index: snapshots restore whole worlds, they do not merge into live
+// ones.
+func (ix *Index) ImportDocs(docs []Doc, lens []int, dead []bool) error {
 	if len(docs) != len(lens) {
 		return fmt.Errorf("index: import: %d docs but %d lengths", len(docs), len(lens))
+	}
+	if dead == nil {
+		dead = make([]bool, len(docs))
+	}
+	if len(dead) != len(docs) {
+		return fmt.Errorf("index: import: %d docs but %d tombstone flags", len(docs), len(dead))
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -101,7 +128,14 @@ func (ix *Index) ImportDocs(docs []Doc, lens []int) error {
 	}
 	ix.docs = docs
 	ix.lens = lens
+	ix.dead = dead
 	for id, d := range docs {
+		ix.totalLen += lens[id]
+		if dead[id] {
+			ix.numDead++
+			ix.deadLen += lens[id]
+			continue
+		}
 		if prev, dup := ix.byURL[d.URL]; dup {
 			return fmt.Errorf("index: import: duplicate URL %q (docs %d and %d)", d.URL, prev, id)
 		}
@@ -109,7 +143,6 @@ func (ix *Index) ImportDocs(docs []Doc, lens []int) error {
 		if d.Source != "" {
 			ix.bySource[d.Source]++
 		}
-		ix.totalLen += lens[id]
 	}
 	return nil
 }

@@ -28,9 +28,9 @@ func smallCorpus(shards int) *Index {
 // a fresh index with the given shard count.
 func transplant(t *testing.T, src *Index, shards int) *Index {
 	t.Helper()
-	docs, lens := src.ExportDocs()
+	docs, lens, dead := src.ExportDocs()
 	dst := NewSharded(shards)
-	if err := dst.ImportDocs(docs, lens); err != nil {
+	if err := dst.ImportDocs(docs, lens, dead); err != nil {
 		t.Fatal(err)
 	}
 	for si := 0; si < src.NumShards(); si++ {
@@ -108,16 +108,24 @@ func TestExportShardIsolatedAndSorted(t *testing.T) {
 // The import surface refuses the states that would corrupt an index
 // silently.
 func TestImportRejectsBadState(t *testing.T) {
-	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}}, []int{1, 2}); err == nil {
+	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}}, []int{1, 2}, nil); err == nil {
 		t.Error("mismatched docs/lens accepted")
 	}
+	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}}, []int{1}, []bool{true, false}); err == nil {
+		t.Error("mismatched docs/dead accepted")
+	}
 	ix := smallCorpus(2)
-	docs, lens := ix.ExportDocs()
-	if err := ix.ImportDocs(docs, lens); err == nil {
+	docs, lens, dead := ix.ExportDocs()
+	if err := ix.ImportDocs(docs, lens, dead); err == nil {
 		t.Error("import into non-empty index accepted")
 	}
-	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}, {URL: "u"}}, []int{1, 1}); err == nil {
+	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}, {URL: "u"}}, []int{1, 1}, nil); err == nil {
 		t.Error("duplicate URL accepted")
+	}
+	// A dead and a live doc may share a URL — that is exactly the state
+	// a delete-then-re-add leaves — but two live docs may not.
+	if err := NewSharded(2).ImportDocs([]Doc{{URL: "u"}, {URL: "u"}}, []int{1, 1}, []bool{true, false}); err != nil {
+		t.Errorf("tombstoned duplicate URL rejected: %v", err)
 	}
 	fresh := NewSharded(2)
 	tp := []TermPostings{{Term: "dup", Postings: []Posting{{Doc: 0, TF: 1}}}}

@@ -84,7 +84,13 @@ func (v Value) Equal(o Value) bool {
 // Row is one tuple, positionally aligned with the table's columns.
 type Row []Value
 
-// Table is an immutable-after-load relation.
+// Table is a mutable relation: rows are appended at load and may later
+// be updated, deleted or inserted to simulate content churn. Row ids
+// are positional — a Delete shifts every later row down by one — which
+// matches how the site generator addresses records (/record?id=N): the
+// synthetic web re-renders from current table state on every request,
+// so mutations are visible immediately and ground-truth oracles always
+// describe the mutated site.
 type Table struct {
 	Name    string
 	Columns []Column
@@ -117,13 +123,8 @@ func MustNewTable(name string, cols []Column) *Table {
 
 // Insert appends a row after validating arity and kinds.
 func (t *Table) Insert(r Row) error {
-	if len(r) != len(t.Columns) {
-		return fmt.Errorf("reldb: row arity %d != schema arity %d in %q", len(r), len(t.Columns), t.Name)
-	}
-	for i, v := range r {
-		if v.Kind != t.Columns[i].Kind {
-			return fmt.Errorf("reldb: column %q wants %v, got %v", t.Columns[i].Name, t.Columns[i].Kind, v.Kind)
-		}
+	if err := t.validate(r); err != nil {
+		return err
 	}
 	t.rows = append(t.rows, r)
 	return nil
@@ -135,6 +136,44 @@ func (t *Table) MustInsert(r Row) {
 	if err := t.Insert(r); err != nil {
 		panic(err)
 	}
+}
+
+// validate checks a row against the schema.
+func (t *Table) validate(r Row) error {
+	if len(r) != len(t.Columns) {
+		return fmt.Errorf("reldb: row arity %d != schema arity %d in %q", len(r), len(t.Columns), t.Name)
+	}
+	for i, v := range r {
+		if v.Kind != t.Columns[i].Kind {
+			return fmt.Errorf("reldb: column %q wants %v, got %v", t.Columns[i].Name, t.Columns[i].Kind, v.Kind)
+		}
+	}
+	return nil
+}
+
+// Update replaces row i after validating arity and kinds — one record
+// changing in place (a price drop, a listing edit).
+func (t *Table) Update(i int, r Row) error {
+	if i < 0 || i >= len(t.rows) {
+		return fmt.Errorf("reldb: update row %d of %d in %q", i, len(t.rows), t.Name)
+	}
+	if err := t.validate(r); err != nil {
+		return err
+	}
+	t.rows[i] = r
+	return nil
+}
+
+// Delete removes row i; every later row shifts down one id — a record
+// disappearing from the site. The id reuse this implies is safe because
+// nothing downstream holds row ids across mutations: pages are
+// re-rendered and oracles re-evaluated from current state.
+func (t *Table) Delete(i int) error {
+	if i < 0 || i >= len(t.rows) {
+		return fmt.Errorf("reldb: delete row %d of %d in %q", i, len(t.rows), t.Name)
+	}
+	t.rows = append(t.rows[:i], t.rows[i+1:]...)
+	return nil
 }
 
 // Len returns the number of rows.

@@ -42,12 +42,19 @@ func New(acs *webtables.ACSDb, vals *webtables.ValueStore, tables []webtables.Ra
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// MaxK caps the k query parameter. Every top-k handler allocates and
+// sorts O(k) state, so an unclamped k from untrusted input
+// (?k=100000000) is a one-request memory bomb; requests beyond the cap
+// are served the cap, not an error, matching how search engines treat
+// oversized page sizes.
+const MaxK = 1000
+
 func kParam(r *http.Request) int {
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
 	if err != nil || k <= 0 {
 		return 10
 	}
-	return k
+	return min(k, MaxK)
 }
 
 // writeJSON encodes v into a buffer first so an encoding failure (an

@@ -50,6 +50,32 @@ func TestSynonymsEndpoint(t *testing.T) {
 	}
 }
 
+// An attacker-sized k must be clamped, not trusted: every top-k
+// handler allocates O(k) state per request.
+func TestKParamClamped(t *testing.T) {
+	s := testServer()
+	for _, path := range []string{
+		"/synonyms?attr=make&k=100000000",
+		"/autocomplete?attrs=make&k=100000000",
+		"/values?attr=city&k=100000000",
+		"/properties?entity=seattle&k=100000000",
+		"/tablesearch?q=city&k=100000000",
+	} {
+		var out json.RawMessage
+		if code := getJSON(t, s, path, &out); code != 200 {
+			t.Errorf("%s: status %d", path, code)
+		}
+	}
+	req := httptest.NewRequest("GET", "/values?attr=city&k=2147483647", nil)
+	if got := kParam(req); got != MaxK {
+		t.Errorf("kParam(max int32) = %d, want %d", got, MaxK)
+	}
+	req = httptest.NewRequest("GET", "/values?attr=city&k=5", nil)
+	if got := kParam(req); got != 5 {
+		t.Errorf("kParam(5) = %d, clamp must not touch sane values", got)
+	}
+}
+
 func TestAutocompleteEndpoint(t *testing.T) {
 	s := testServer()
 	var items []ScoredItem

@@ -263,6 +263,92 @@ func TestShardCountBounds(t *testing.T) {
 	}
 }
 
+// Tombstones round-trip through the docs segment, sorted regardless of
+// input order.
+func TestDocsTombstonesRoundTrip(t *testing.T) {
+	path := DocsPath(t.TempDir())
+	want := sampleDocs()
+	want.Dead = []int{2, 0} // unsorted on purpose
+	if _, err := WriteDocs(path, 4, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadDocs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Dead, []int{0, 2}) {
+		t.Fatalf("tombstones round-tripped as %v", got.Dead)
+	}
+}
+
+// Tombstone ids outside the doc table, or duplicated, are corruption.
+func TestDocsTombstoneBoundsChecked(t *testing.T) {
+	for name, dead := range map[string][]int{
+		"out of range": {7},
+		"duplicate":    {1, 1},
+	} {
+		path := DocsPath(t.TempDir())
+		if _, err := WriteDocs(path, 4, &DocsSegment{
+			Docs: sampleDocs().Docs, Lens: sampleDocs().Lens, Dead: dead,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadDocs(path); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s tombstone accepted: %v", name, err)
+		}
+	}
+}
+
+// The meta segment round-trips in sorted host order and writes
+// deterministically.
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	seg := &MetaSegment{Sites: []SiteMeta{
+		{Host: "z.example", Signature: 42},
+		{Host: "a.example", Signature: 7},
+	}}
+	if err := WriteMeta(MetaPath(dir), seg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeta(MetaPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SiteMeta{{Host: "a.example", Signature: 7}, {Host: "z.example", Signature: 42}}
+	if !reflect.DeepEqual(got.Sites, want) {
+		t.Fatalf("meta round trip: %+v", got.Sites)
+	}
+	other := filepath.Join(dir, "other.seg")
+	if err := WriteMeta(other, &MetaSegment{Sites: []SiteMeta{
+		{Host: "a.example", Signature: 7}, {Host: "z.example", Signature: 42},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(MetaPath(dir))
+	b, _ := os.ReadFile(other)
+	if string(a) != string(b) {
+		t.Fatal("meta segment bytes depend on input order")
+	}
+}
+
+// A v1 segment — the pre-freshness format — must fail with a clean
+// ErrVersion before any body byte is interpreted: the v1 docs body
+// lacks the tombstone block, so a misread would silently fabricate
+// tombstones from annotation bytes.
+func TestV1SegmentRejected(t *testing.T) {
+	path, raw := writeSample(t)
+	binary.LittleEndian.PutUint16(raw[4:6], 1)
+	reseal(raw)
+	rewrite(t, path, raw)
+	_, _, err := ReadDocs(path)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 segment: want ErrVersion, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("error %q does not name the found version", err)
+	}
+}
+
 // A tf outside int32 range is valid varint data that would silently
 // wrap through the int32 cast and corrupt BM25 scores; the decoder
 // must reject it like an out-of-range doc id.

@@ -2,6 +2,8 @@ package webgen
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -256,6 +258,36 @@ func (s *Site) RowSetSignature(rowIDs []int) textutil.Signature {
 		tz.SignContent(&sg, s.Table.RowText(id))
 	}
 	return sg.Sum()
+}
+
+// InsertRow appends a record to the site's backing table — new content
+// appearing on the site. The next request sees it.
+func (s *Site) InsertRow(r reldb.Row) error { return s.Table.Insert(r) }
+
+// UpdateRow replaces record i in place — existing content changing.
+func (s *Site) UpdateRow(i int, r reldb.Row) error { return s.Table.Update(i, r) }
+
+// DeleteRow removes record i (later records shift down one id) —
+// content disappearing from the site.
+func (s *Site) DeleteRow(i int) error { return s.Table.Delete(i) }
+
+// TableSignature fingerprints the site's entire backing table,
+// sensitive to row order and multiplicity. It deliberately does NOT
+// reuse the surfacing signature semantics: RowSetSignature collapses
+// order and duplicates because probed result *sets* should, but served
+// pages are order- and count-sensitive (result counts, paging layout,
+// record numbering), so a churn detector built on the set signature
+// would miss mutations — deleting one of two identical rows, or
+// reordering — that visibly change every page. The hash (FNV-1a over
+// rendered row texts with separators) is seed-free, so it is stable
+// across processes and can be persisted in snapshots.
+func (s *Site) TableSignature() textutil.Signature {
+	h := fnv.New64a()
+	for i, n := 0, s.Table.Len(); i < n; i++ {
+		io.WriteString(h, s.Table.RowText(i))
+		h.Write([]byte{0})
+	}
+	return textutil.Signature(h.Sum64())
 }
 
 // FormURL returns the absolute URL of the site's search form page.

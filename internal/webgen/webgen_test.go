@@ -2,6 +2,7 @@ package webgen
 
 import (
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -384,5 +385,116 @@ func TestAllDomainsBuildAndServe(t *testing.T) {
 		if len(forms) != 1 {
 			t.Errorf("%s: form page has %d forms", dom, len(forms))
 		}
+	}
+}
+
+// Row mutations are visible on the very next request — pages are
+// rendered from current table state — and the ground-truth oracle
+// follows along.
+func TestSiteMutationVisibleImmediately(t *testing.T) {
+	w := NewWeb()
+	s := buildTestSite(t, "usedcars", 20)
+	w.AddSite(s)
+	n := s.Table.Len()
+
+	clone := append(reldb.Row(nil), s.Table.Row(0)...)
+	if err := s.InsertRow(clone); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table.Len() != n+1 {
+		t.Fatalf("insert: %d rows, want %d", s.Table.Len(), n+1)
+	}
+	lastRecord := get(t, w, "http://"+s.Spec.Host+"/record?id="+strconv.Itoa(n))
+	if !strings.Contains(lastRecord, s.Table.Row(0)[0].String()) {
+		t.Error("inserted record not served")
+	}
+
+	if err := s.DeleteRow(n); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table.Len() != n {
+		t.Fatalf("delete: %d rows, want %d", s.Table.Len(), n)
+	}
+
+	updated := append(reldb.Row(nil), s.Table.Row(1)...)
+	if err := s.UpdateRow(3, updated); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Table.Row(3)[0].Equal(updated[0]) {
+		t.Error("update not applied")
+	}
+
+	if err := s.UpdateRow(999, updated); err == nil {
+		t.Error("out-of-range update accepted")
+	}
+	if err := s.DeleteRow(-1); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	if err := s.InsertRow(reldb.Row{reldb.S("wrong arity")}); err == nil {
+		t.Error("bad-arity insert accepted")
+	}
+}
+
+// TableSignature must move under every mutation kind — including the
+// ones the set-semantics RowSetSignature is blind to (deleting one of
+// two identical rows, reordering) — and must be a pure function of
+// table content, so two identically built-and-churned sites agree.
+func TestTableSignatureSensitivity(t *testing.T) {
+	fresh := func() *Site { return buildTestSite(t, "usedcars", 20) }
+
+	s := fresh()
+	base := s.TableSignature()
+	if base != fresh().TableSignature() {
+		t.Fatal("signature differs between identical sites")
+	}
+
+	s.UpdateRow(5, append(reldb.Row(nil), s.Table.Row(6)...))
+	if s.TableSignature() == base {
+		t.Error("update did not move the signature")
+	}
+
+	s = fresh()
+	s.DeleteRow(0)
+	if s.TableSignature() == base {
+		t.Error("delete did not move the signature")
+	}
+
+	// The set-blind case: duplicate a row, sign, then delete one copy.
+	s = fresh()
+	s.InsertRow(append(reldb.Row(nil), s.Table.Row(0)...))
+	dup := s.TableSignature()
+	s.DeleteRow(s.Table.Len() - 1)
+	if s.TableSignature() == dup {
+		t.Error("deleting one of two identical rows did not move the signature")
+	}
+	if s.TableSignature() != base {
+		t.Error("undoing the duplication did not restore the signature")
+	}
+}
+
+// Churn with one seed is deterministic across identically built worlds
+// — the property the refresh pipeline's scratch-equivalence rests on.
+func TestChurnDeterministic(t *testing.T) {
+	build := func() *Web {
+		w, err := BuildWorld(WorldConfig{Seed: 11, SitesPerDom: 1, RowsPerSite: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b, pristine := build(), build(), build()
+	Churn(a, 8, 77)
+	Churn(b, 8, 77)
+	moved := 0
+	for i, sa := range a.Sites() {
+		if sa.TableSignature() != b.Sites()[i].TableSignature() {
+			t.Errorf("%s: churned tables diverged", sa.Spec.Host)
+		}
+		if sa.TableSignature() != pristine.Sites()[i].TableSignature() {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("churn mutated nothing")
 	}
 }

@@ -3,17 +3,18 @@
 # (default 1) in benchstat-consumable form.
 #
 # This is the single definition of "the hot paths" for both CI and
-# `make bench`: the zero-allocation text pipeline, index add/search,
-# the snapshot save/load vs cold-surface startup pair, and end-to-end
-# surfacing. CI runs it on the PR head and on the merge base and diffs
-# the two with benchstat, so keep the set additive — a benchmark that
-# exists only on one side simply shows up as new/deleted in the table.
+# `make bench`: the zero-allocation text pipeline, index add/search
+# (with and without tombstones), the snapshot save/load vs cold-surface
+# startup pair, the incremental refresh pass, and end-to-end surfacing.
+# CI runs it on the PR head and on the merge base and diffs the two
+# with benchstat, so keep the set additive — a benchmark that exists
+# only on one side simply shows up as new/deleted in the table.
 set -euo pipefail
 
 count="${1:-1}"
 
 go test -run '^$' -bench . -benchmem -benchtime 100x -count "$count" \
   ./internal/textutil ./internal/index
-go test -run '^$' -bench 'Snapshot|ColdSurface' -benchmem -benchtime 3x -count "$count" \
+go test -run '^$' -bench 'Snapshot|ColdSurface|Refresh' -benchmem -benchtime 3x -count "$count" \
   ./internal/engine
 go test -run '^$' -bench BenchmarkSurfaceAll -benchmem -benchtime 1x -count "$count" .
