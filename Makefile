@@ -2,7 +2,7 @@
 # check a PR will face is reproducible with one command before pushing.
 GO ?= go
 
-.PHONY: verify fmt vet build test bench fuzz lint
+.PHONY: verify fmt vet build test bench fuzz lint examples
 
 # verify = the CI `test` job: gofmt, vet, build, race-enabled tests.
 verify: fmt vet build test
@@ -28,6 +28,14 @@ test:
 BENCH_COUNT ?= 1
 bench:
 	./scripts/bench-hotpath.sh $(BENCH_COUNT)
+
+# examples = the CI examples-smoke job: every worked example must
+# build and run against the current API.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run "./$$d"; \
+	done
 
 # fuzz = the CI fuzz-smoke job (differential tokenizer fuzzing).
 FUZZTIME ?= 30s

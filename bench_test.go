@@ -11,6 +11,7 @@
 package deepweb
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ func BenchmarkSurfaceAll(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := engine.New(web)
 				e.Workers = workers
-				if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+				if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 					b.Fatal(err)
 				}
 				docs = e.Index.Len()

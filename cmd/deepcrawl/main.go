@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +34,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"deepweb/internal/cliutil"
 	"deepweb/internal/core"
 	"deepweb/internal/engine"
 	"deepweb/internal/webgen"
@@ -49,8 +51,22 @@ func main() {
 	refresh := flag.String("refresh", "", "refresh an existing snapshot directory instead of surfacing from scratch")
 	churn := flag.Int("churn", 5, "with -refresh: random row mutations applied per site before refreshing")
 	churnSeed := flag.Int64("churnseed", 1, "with -refresh: seed of the churn mutation stream")
+	refreshBudget := flag.Float64("refreshbudget", 0, "with -refresh: probe-budget fraction (0,1] for re-surfacing a changed site (0 = full budget)")
+	hostCap := flag.Int("hostcap", 0, "with -refresh: max requests per host during the refresh pass (0 = uncapped)")
 	flag.Parse()
 	log.SetFlags(0)
+	// Fail bad sizes loudly at startup — a zero or negative world size
+	// used to surface as an obscure failure deep inside world building.
+	cliutil.RequirePositive("deepcrawl",
+		cliutil.IntFlag{Name: "-sites", Value: *sites},
+		cliutil.IntFlag{Name: "-rows", Value: *rows},
+		cliutil.IntFlag{Name: "-workers", Value: *workers},
+	)
+	if *refreshBudget < 0 || *refreshBudget > 1 {
+		fmt.Fprintf(os.Stderr, "deepcrawl: -refreshbudget must lie in [0, 1], 0 = full budget (got %v)\n\n", *refreshBudget)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	cfg := core.DefaultConfig()
 	if *naive {
@@ -61,7 +77,12 @@ func main() {
 	}
 
 	if *refresh != "" {
-		runRefresh(worldCfg, cfg, *refresh, *out, *workers, *churn, *churnSeed)
+		runRefresh(worldCfg, engine.RefreshRequest{
+			Config:         cfg,
+			FollowNext:     3,
+			BudgetFraction: *refreshBudget,
+			PerHostCap:     *hostCap,
+		}, *refresh, *out, *workers, *churn, *churnSeed)
 		return
 	}
 
@@ -72,7 +93,7 @@ func main() {
 	e.Workers = *workers
 	fmt.Printf("surfacing %d sites (%d rows each, %d workers, naive=%v)\n\n",
 		len(e.Web.Sites()), *rows, *workers, *naive)
-	if err := e.SurfaceAll(cfg, 3); err != nil {
+	if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: cfg, FollowNext: 3}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -127,7 +148,7 @@ func main() {
 
 // runRefresh rebuilds the world the snapshot was surfaced from, ages
 // it with deterministic churn, and re-surfaces only the changed sites.
-func runRefresh(worldCfg webgen.WorldConfig, cfg core.Config, dir, out string, workers, churn int, churnSeed int64) {
+func runRefresh(worldCfg webgen.WorldConfig, req engine.RefreshRequest, dir, out string, workers, churn int, churnSeed int64) {
 	if out == "" {
 		out = dir
 	}
@@ -141,14 +162,14 @@ func runRefresh(worldCfg webgen.WorldConfig, cfg core.Config, dir, out string, w
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded snapshot: %d docs from %s in %v\n",
-		e.Index.Len(), dir, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("loaded snapshot: %d docs (generation %d) from %s in %v\n",
+		e.Index.Len(), e.Generation, dir, time.Since(start).Round(time.Millisecond))
 
 	webgen.Churn(web, churn, churnSeed)
 	fmt.Printf("churn: %d row mutations per site (seed %d)\n", churn, churnSeed)
 
 	start = time.Now()
-	st, err := e.Refresh(cfg, 3, nil)
+	st, err := e.Refresh(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

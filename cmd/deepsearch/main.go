@@ -1,8 +1,13 @@
 // Command deepsearch builds a synthetic deep web, surfaces it into a
-// search index, and serves a minimal search engine over HTTP: an HTML
-// page at / and JSON at /api/search?q=...&k=10. Deep-web documents are
+// search index, and serves it over HTTP: an HTML page at / and the
+// versioned JSON API of internal/api under /v1. Deep-web documents are
 // served "like any other page" (§3.2); each result notes the form that
 // surfaced it.
+//
+//	GET  /v1/search?q=...&k=10&offset=0&annotated=true&host=...
+//	GET  /v1/admin/stats
+//	POST /v1/admin/reload
+//	GET  /healthz
 //
 // The server carries production manners (via internal/httpx):
 // read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
@@ -11,11 +16,13 @@
 // warm-starts from a directory written by `deepcrawl -out`, answering
 // its first query in milliseconds. Startup logs each phase's duration
 // either way, so the warm-start win is visible in the logs. A running
-// -snapshot server also reloads on SIGHUP: after `deepcrawl -refresh`
-// replaces the snapshot (segment writes are atomic), SIGHUP swaps the
-// new index in behind an atomic pointer — in-flight queries finish
-// against the engine they started on, new queries see the fresh one,
-// and a failed reload keeps the current index serving.
+// -snapshot server also reloads on SIGHUP or POST /v1/admin/reload:
+// after `deepcrawl -refresh` replaces the snapshot (segment writes are
+// atomic), the reload swaps the new index in behind an atomic pointer
+// — in-flight queries finish against the engine they started on, new
+// queries see the fresh one, and a failed reload keeps the current
+// index serving. /v1/admin/stats (generation id + last-reload time) is
+// how an operator verifies the swap happened.
 //
 // Usage:
 //
@@ -25,7 +32,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,11 +39,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"deepweb/internal/api"
+	"deepweb/internal/cliutil"
 	"deepweb/internal/core"
 	"deepweb/internal/engine"
 	"deepweb/internal/htmlx"
@@ -52,10 +59,17 @@ func main() {
 	rows := flag.Int("rows", 300, "rows per site")
 	seed := flag.Int64("seed", 42, "world seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers")
-	annotated := flag.Bool("annotated", false, "rank with §5.1 surfacing-time annotations (see E13)")
+	annotated := flag.Bool("annotated", false, "rank the HTML page with §5.1 annotations (the /v1 API takes ?annotated=true per request)")
 	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + surfacing)")
 	flag.Parse()
 	log.SetFlags(0)
+	// Fail bad sizes loudly at startup — a zero or negative world size
+	// used to surface as an obscure failure deep inside world building.
+	cliutil.RequirePositive("deepsearch",
+		cliutil.IntFlag{Name: "-sites", Value: *sites},
+		cliutil.IntFlag{Name: "-rows", Value: *rows},
+		cliutil.IntFlag{Name: "-workers", Value: *workers},
+	)
 
 	begin := time.Now()
 	var e *engine.Engine
@@ -67,7 +81,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("phase load-snapshot: %d docs from %s in %v", e.Index.Len(), *snapshot, time.Since(start).Round(time.Microsecond))
+		log.Printf("phase load-snapshot: %d docs (generation %d) from %s in %v",
+			e.Index.Len(), e.Generation, *snapshot, time.Since(start).Round(time.Microsecond))
 	} else {
 		start := time.Now()
 		var err error
@@ -81,51 +96,81 @@ func main() {
 		e.IndexSurfaceWeb()
 		log.Printf("phase index-surface-web: %v", time.Since(start).Round(time.Millisecond))
 		start = time.Now()
-		if err := e.SurfaceAll(core.DefaultConfig(), 5); err != nil {
+		if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("phase surface: %v (%d workers)", time.Since(start).Round(time.Millisecond), *workers)
 	}
 	log.Printf("ready: %d documents indexed, startup %v", e.Index.Len(), time.Since(begin).Round(time.Microsecond))
 
-	// Queries resolve the engine through an atomic pointer so a SIGHUP
-	// reload swaps snapshots without dropping in-flight requests: a
-	// request keeps the engine it loaded for its whole lifetime.
+	// Queries resolve the engine through an atomic pointer so a reload
+	// (SIGHUP or POST /v1/admin/reload) swaps snapshots without
+	// dropping in-flight requests: a request keeps the engine it loaded
+	// for its whole lifetime.
 	var current atomic.Pointer[engine.Engine]
 	current.Store(e)
+	var lastReload atomic.Int64 // UnixNano of the last successful swap; 0 = never
+
+	var reload func() error
 	if *snapshot != "" {
+		reload = func() error {
+			start := time.Now()
+			ne, err := engine.Load(*snapshot)
+			if err != nil {
+				log.Printf("reload: %v (keeping current index)", err)
+				return err
+			}
+			current.Store(ne)
+			lastReload.Store(time.Now().UnixNano())
+			log.Printf("reload: %d docs (generation %d) from %s in %v",
+				ne.Index.Len(), ne.Generation, *snapshot, time.Since(start).Round(time.Microsecond))
+			return nil
+		}
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
-				start := time.Now()
-				ne, err := engine.Load(*snapshot)
-				if err != nil {
-					log.Printf("reload: %v (keeping current index)", err)
-					continue
-				}
-				current.Store(ne)
-				log.Printf("reload: %d docs from %s in %v", ne.Index.Len(), *snapshot, time.Since(start).Round(time.Microsecond))
+				reload()
 			}
 		}()
 	}
-	search := func(q string, k int) []index.Result {
-		ix := current.Load().Index
-		if *annotated {
-			return ix.AnnotatedSearch(q, k)
+
+	apiSrv := api.New(api.Options{
+		Engine: func() *engine.Engine { return current.Load() },
+		Reload: reload,
+		Stats: func(st api.Stats) api.Stats {
+			if ns := lastReload.Load(); ns != 0 {
+				st.LastReload = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+			}
+			return st
+		},
+	})
+
+	search := func(r *http.Request, q string, k int) []index.Result {
+		resp, err := current.Load().Search(r.Context(), engine.SearchRequest{Query: q, K: k, Annotated: *annotated})
+		if err != nil {
+			return nil
 		}
-		return ix.Search(q, k)
+		return resp.Results
 	}
 
 	mux := http.NewServeMux()
+	mux.Handle("/v1/", apiSrv)
+	mux.Handle("/healthz", apiSrv)
+	// Legacy alias: pre-/v1 clients called /api/search. Forward it to
+	// the /v1 handler (the response is the richer /v1 shape) instead of
+	// letting it fall through to the HTML page. The old endpoint ranked
+	// with the -annotated flag, so the alias carries it over unless the
+	// caller asks explicitly.
 	mux.HandleFunc("/api/search", func(rw http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
-		if k <= 0 {
-			k = 10
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/v1/search"
+		if *annotated && r2.URL.Query().Get("annotated") == "" {
+			qs := r2.URL.Query()
+			qs.Set("annotated", "true")
+			r2.URL.RawQuery = qs.Encode()
 		}
-		rw.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(rw).Encode(search(q, k))
+		apiSrv.ServeHTTP(rw, r2)
 	})
 	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
@@ -135,7 +180,7 @@ func main() {
 			htmlx.EscapeAttr(q))
 		if q != "" {
 			fmt.Fprint(rw, "<ol>")
-			for _, hit := range search(q, 10) {
+			for _, hit := range search(r, q, 10) {
 				src := ""
 				if hit.Source != "" {
 					src = " <em>(deep web via " + htmlx.EscapeText(hit.Source) + ")</em>"

@@ -1,12 +1,16 @@
 // Command semserver builds the §6 semantic server: it crawls a
 // synthetic web (following links into record pages), aggregates HTML
-// tables into an ACSDb and a value store, and serves the four semantic
-// services over HTTP JSON:
+// tables into an ACSDb and a value store, and serves the semantic
+// services over HTTP JSON — both the versioned /v1 surface shared with
+// deepsearch and the legacy flat paths:
 //
-//	GET /synonyms?attr=make
-//	GET /autocomplete?attrs=make,model
-//	GET /values?attr=city
-//	GET /properties?entity=seattle
+//	GET /v1/semantics/synonyms?attr=make        (legacy: /synonyms)
+//	GET /v1/semantics/autocomplete?attrs=make   (legacy: /autocomplete)
+//	GET /v1/semantics/values?attr=city          (legacy: /values)
+//	GET /v1/semantics/properties?entity=seattle (legacy: /properties)
+//	GET /v1/semantics/tables?q=population       (legacy: /tablesearch)
+//	GET /v1/admin/stats
+//	GET /healthz
 //
 // The server carries production manners (via internal/httpx):
 // read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
@@ -26,8 +30,11 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"time"
 
+	"deepweb/internal/api"
+	"deepweb/internal/cliutil"
 	"deepweb/internal/engine"
 	"deepweb/internal/httpx"
 	"deepweb/internal/webgen"
@@ -41,6 +48,10 @@ func main() {
 	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + crawl)")
 	flag.Parse()
 	log.SetFlags(0)
+	cliutil.RequirePositive("semserver",
+		cliutil.IntFlag{Name: "-sites", Value: *sites},
+		cliutil.IntFlag{Name: "-rows", Value: *rows},
+	)
 
 	begin := time.Now()
 	var sem *engine.SemanticStore
@@ -67,7 +78,16 @@ func main() {
 		sem.PagesCrawled, sem.RawTables, len(sem.Tables), sem.ACS.Schemas, len(sem.ACS.Freq))
 	log.Printf("phase listen: serving on %s after %v startup", *addr, time.Since(begin).Round(time.Microsecond))
 
-	if err := httpx.Serve(context.Background(), *addr, sem.Server()); err != nil {
+	legacy := sem.Server()
+	apiSrv := api.New(api.Options{Semantics: legacy})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", apiSrv)
+	mux.Handle("/healthz", apiSrv)
+	// Legacy flat paths keep serving the same handlers (same envelope,
+	// same method enforcement) for pre-/v1 clients.
+	mux.Handle("/", legacy)
+
+	if err := httpx.Serve(context.Background(), *addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

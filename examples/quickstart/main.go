@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	// ingests the surfaced pages into its index like any other pages
 	// (§3.2).
 	e := engine.New(web)
-	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		log.Fatal(err)
 	}
 	res := e.Results[site.Spec.Host]
@@ -40,11 +41,16 @@ func main() {
 	cov := e.SiteCoverage(site.Spec.Host)
 	fmt.Printf("ground-truth coverage: %d/%d records (%.0f%%)\n\n", cov.Covered, cov.Total, 100*cov.Fraction())
 
-	// 3. Search the index.
+	// 3. Search the index through the serving API: the response carries
+	// the ranked page plus the total hit count and retrieval time.
 	fmt.Printf("indexed %d deep-web pages\n\n", e.IngestStats[site.Spec.Host].Indexed)
 	for _, q := range []string{"used ford focus", "honda under 5000", "toyota corolla seattle"} {
-		fmt.Printf("query %q:\n", q)
-		for i, hit := range e.Index.Search(q, 3) {
+		resp, err := e.Search(context.Background(), engine.SearchRequest{Query: q, K: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %q (%d total hits):\n", q, resp.Total)
+		for i, hit := range resp.Results {
 			fmt.Printf("  %d. %s (score %.2f)\n", i+1, hit.URL, hit.Score)
 		}
 	}

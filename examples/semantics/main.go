@@ -1,7 +1,7 @@
 // Semantic services (§6): crawl a synthetic web through the engine
 // façade, aggregate its HTML tables, and exercise the four services —
 // synonyms, schema auto-complete, attribute values, entity properties —
-// over HTTP.
+// over the versioned /v1 HTTP surface (internal/api).
 //
 //	go run ./examples/semantics
 package main
@@ -13,6 +13,7 @@ import (
 	"log"
 	"net/http/httptest"
 
+	"deepweb/internal/api"
 	"deepweb/internal/engine"
 	"deepweb/internal/webgen"
 )
@@ -28,8 +29,8 @@ func main() {
 	fmt.Printf("crawled %d pages → %d relational tables, %d distinct attributes\n\n",
 		sem.PagesCrawled, len(sem.Tables), len(sem.ACS.Freq))
 
-	// Serve the semantic server and query it like a client would.
-	srv := httptest.NewServer(sem.Server())
+	// Serve the versioned API surface and query it like a client would.
+	srv := httptest.NewServer(api.New(api.Options{Semantics: sem.Server()}))
 	defer srv.Close()
 
 	show := func(path string) {
@@ -42,13 +43,15 @@ func main() {
 		var pretty any
 		json.Unmarshal(body, &pretty)
 		out, _ := json.Marshal(pretty)
-		fmt.Printf("GET %-42s → %s\n", path, truncate(string(out), 100))
+		fmt.Printf("GET %-56s → %s\n", path, truncate(string(out), 100))
 	}
 
-	show("/synonyms?attr=make&k=3")        // → "maker": mined from alias sites
-	show("/autocomplete?attrs=make&k=4")   // → model, price, year…
-	show("/values?attr=city&k=5")          // → city vocabulary for form filling
-	show("/properties?entity=seattle&k=5") // → attributes tables give the entity
+	show("/v1/semantics/synonyms?attr=make&k=3")        // → "maker": mined from alias sites
+	show("/v1/semantics/autocomplete?attrs=make&k=4")   // → model, price, year…
+	show("/v1/semantics/values?attr=city&k=5")          // → city vocabulary for form filling
+	show("/v1/semantics/properties?entity=seattle&k=5") // → attributes tables give the entity
+	show("/v1/admin/stats")                             // → table counts for operators
+	show("/healthz")                                    // → liveness
 }
 
 func truncate(s string, n int) string {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/url"
@@ -29,7 +30,7 @@ func main() {
 		// so it drives the core surfacer directly rather than the engine
 		// pipeline — surfacing + fetching every URL would be wasted work.
 		s := core.NewSurfacer(webx.NewFetcher(web), cfg)
-		res, err := s.SurfaceSite(site.HomeURL())
+		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 		if err != nil {
 			log.Fatal(err)
 		}

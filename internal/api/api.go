@@ -1,0 +1,289 @@
+// Package api is the versioned HTTP serving layer: one mux, one JSON
+// dialect, one error envelope for everything the system serves over
+// HTTP. The paper's premise is that surfaced deep-web content is
+// served "like any other page" at front-end scale (§3.2) — so the
+// front end should be one coherent surface, not per-binary dialects.
+// Both deepsearch and semserver mount this package; each enables the
+// endpoint groups its process actually backs.
+//
+//	GET  /healthz                   liveness + doc count + generation
+//	GET  /v1/search                 ranked retrieval (q, k, offset, annotated, host)
+//	GET  /v1/semantics/synonyms     §6 semantic services
+//	GET  /v1/semantics/autocomplete
+//	GET  /v1/semantics/values
+//	GET  /v1/semantics/properties
+//	GET  /v1/semantics/tables
+//	GET  /v1/admin/stats            serving statistics for operators
+//	POST /v1/admin/reload           swap in the refreshed snapshot
+//
+// Every response that depends on index contents carries the snapshot
+// generation id in an X-Generation header, so an operator can verify a
+// reload actually swapped snapshots with curl -i.
+package api
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"deepweb/internal/engine"
+	"deepweb/internal/httpx"
+	"deepweb/internal/semserv"
+)
+
+// Page-size and pagination ceilings: every request allocates O(k +
+// offset) selection state, so untrusted values are clamped, not
+// trusted (oversized values are served the cap, matching how search
+// engines treat deep paging).
+const (
+	// MaxK aliases semserv's cap so the whole /v1 surface clamps k at
+	// one documented value.
+	MaxK      = semserv.MaxK
+	MaxOffset = 10000
+)
+
+// Stats is the /v1/admin/stats payload: what an operator needs to
+// verify a deployment is serving what they think it is.
+type Stats struct {
+	// Docs is the live (searchable) document count.
+	Docs int `json:"docs"`
+	// Deleted is the tombstoned document count awaiting compaction.
+	Deleted int `json:"deleted"`
+	// TombstoneRatio is deleted over the full document table.
+	TombstoneRatio float64 `json:"tombstone_ratio"`
+	// Generation is the serving snapshot's content-derived id (0 =
+	// built live). After a reload, a changed Generation is the proof
+	// the swap happened.
+	Generation uint32 `json:"generation"`
+	// LastReload is when the serving engine was last swapped
+	// (RFC3339Nano; empty = never reloaded since startup).
+	LastReload string `json:"last_reload,omitempty"`
+	// Tables is the semantic store's relational table count (semantic
+	// deployments only).
+	Tables int `json:"tables,omitempty"`
+}
+
+// Options wires a Server to the process's capabilities. Nil fields
+// disable their endpoint group; the /v1 surface stays coherent — a
+// disabled endpoint answers with the shared 404 envelope.
+type Options struct {
+	// Engine provides the current serving engine. It is a function, not
+	// a value, because reloads swap engines behind an atomic pointer;
+	// each request resolves the engine once and keeps it for its whole
+	// lifetime. Nil disables /v1/search.
+	Engine func() *engine.Engine
+	// Semantics backs /v1/semantics/*. Nil disables the group.
+	Semantics *semserv.Server
+	// Reload swaps in a fresh snapshot (the same function the SIGHUP
+	// handler runs). Nil makes POST /v1/admin/reload answer 503 — the
+	// process has no snapshot to reload from.
+	Reload func() error
+	// Stats augments the /v1/admin/stats payload: it receives the base
+	// derived from Engine and Semantics and returns what to serve, so a
+	// binary can add process-specific fields (LastReload) without
+	// re-deriving the rest. Nil serves the derived base as is.
+	Stats func(Stats) Stats
+}
+
+// Server is the versioned HTTP surface. It implements http.Handler and
+// can be mounted whole, or alongside other handlers via its /v1/ and
+// /healthz prefixes.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New assembles the /v1 surface for the given capabilities.
+func New(opts Options) *Server {
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/admin/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
+	if opts.Engine != nil {
+		s.mux.HandleFunc("/v1/search", s.handleSearch)
+	}
+	if opts.Semantics != nil {
+		s.mux.HandleFunc("/v1/semantics/synonyms", opts.Semantics.Synonyms)
+		s.mux.HandleFunc("/v1/semantics/autocomplete", opts.Semantics.Autocomplete)
+		s.mux.HandleFunc("/v1/semantics/values", opts.Semantics.AttrValues)
+		s.mux.HandleFunc("/v1/semantics/properties", opts.Semantics.Properties)
+		s.mux.HandleFunc("/v1/semantics/tables", opts.Semantics.TableSearch)
+	}
+	// Everything else under /v1/ is a spelled-out 404, in the envelope,
+	// instead of Go's text/plain default.
+	s.mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
+			r.URL.Path+" is not a /v1 endpoint on this server")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// engine returns the current serving engine, or nil when this process
+// serves no index.
+func (s *Server) engine() *engine.Engine {
+	if s.opts.Engine == nil {
+		return nil
+	}
+	return s.opts.Engine()
+}
+
+// intParam parses an optional integer query parameter leniently: an
+// absent, malformed or below-minimum value serves def, and the result
+// is clamped to max — one dialect with the semantics endpoints'
+// kParam, matching how search engines treat nonsense page sizes.
+func intParam(params url.Values, name string, def, minV, maxV int) int {
+	n, err := strconv.Atoi(params.Get(name))
+	if err != nil || n < minV {
+		return def
+	}
+	return min(n, maxV)
+}
+
+// searchResult is one /v1/search hit on the wire.
+type searchResult struct {
+	DocID  int     `json:"doc_id"`
+	URL    string  `json:"url"`
+	Title  string  `json:"title"`
+	Source string  `json:"source,omitempty"`
+	Score  float64 `json:"score"`
+}
+
+// searchResponse is the /v1/search payload: the page, the request echo
+// that produced it, and the serving metadata.
+type searchResponse struct {
+	Query      string         `json:"query"`
+	K          int            `json:"k"`
+	Offset     int            `json:"offset"`
+	Total      int            `json:"total"`
+	Generation uint32         `json:"generation"`
+	TookMS     float64        `json:"took_ms"`
+	Results    []searchResult `json:"results"`
+}
+
+// GET /v1/search?q=...&k=10&offset=0&annotated=true&host=...
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	params := r.URL.Query()
+	q := params.Get("q")
+	if q == "" {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest, "missing q")
+		return
+	}
+	k := intParam(params, "k", 10, 1, MaxK)
+	offset := intParam(params, "offset", 0, 0, MaxOffset)
+
+	e := s.engine()
+	if e == nil {
+		// The Engine func is wired but momentarily has nothing to serve
+		// (e.g. an atomic pointer before its first Store).
+		httpx.WriteError(w, http.StatusServiceUnavailable, httpx.CodeUnavailable, "no index to search yet")
+		return
+	}
+	resp, err := e.Search(r.Context(), engine.SearchRequest{
+		Query:     q,
+		K:         k,
+		Offset:    offset,
+		Annotated: params.Get("annotated") == "true" || params.Get("annotated") == "1",
+		Host:      params.Get("host"),
+	})
+	if err != nil {
+		// The one search error is a canceled/expired request context:
+		// the client is gone or out of time.
+		httpx.WriteError(w, http.StatusGatewayTimeout, httpx.CodeUnavailable, err.Error())
+		return
+	}
+	out := searchResponse{
+		Query:      q,
+		K:          k,
+		Offset:     offset,
+		Total:      resp.Total,
+		Generation: resp.Generation,
+		TookMS:     float64(resp.Elapsed) / float64(time.Millisecond),
+		Results:    make([]searchResult, len(resp.Results)),
+	}
+	for i, hit := range resp.Results {
+		out.Results[i] = searchResult{
+			DocID:  hit.DocID,
+			URL:    hit.URL,
+			Title:  hit.Title,
+			Source: hit.Source,
+			Score:  hit.Score,
+		}
+	}
+	w.Header().Set("X-Generation", strconv.FormatUint(uint64(resp.Generation), 10))
+	httpx.WriteJSON(w, http.StatusOK, out)
+}
+
+// stats assembles the operator statistics: the base derived from the
+// configured sources, run through the binary's augment hook if set.
+func (s *Server) stats() Stats {
+	var st Stats
+	if e := s.engine(); e != nil {
+		st.Docs = e.Index.Len()
+		st.Deleted = e.Index.Deleted()
+		st.TombstoneRatio = e.Index.TombstoneRatio()
+		st.Generation = e.Generation
+	}
+	if s.opts.Semantics != nil {
+		st.Tables = len(s.opts.Semantics.Tables)
+	}
+	if s.opts.Stats != nil {
+		st = s.opts.Stats(st)
+	}
+	return st
+}
+
+// GET /v1/admin/stats
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	st := s.stats()
+	w.Header().Set("X-Generation", strconv.FormatUint(uint64(st.Generation), 10))
+	httpx.WriteJSON(w, http.StatusOK, st)
+}
+
+// POST /v1/admin/reload
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.opts.Reload == nil {
+		httpx.WriteError(w, http.StatusServiceUnavailable, httpx.CodeUnavailable,
+			"reload unavailable: this process is not serving from a reloadable snapshot")
+		return
+	}
+	if err := s.opts.Reload(); err != nil {
+		// A failed reload keeps the current engine serving; report the
+		// failure without killing the process.
+		httpx.WriteError(w, http.StatusInternalServerError, httpx.CodeInternal, err.Error())
+		return
+	}
+	st := s.stats()
+	w.Header().Set("X-Generation", strconv.FormatUint(uint64(st.Generation), 10))
+	httpx.WriteJSON(w, http.StatusOK, map[string]any{
+		"reloaded":   true,
+		"docs":       st.Docs,
+		"generation": st.Generation,
+	})
+}
+
+// GET /healthz
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	st := s.stats()
+	w.Header().Set("X-Generation", strconv.FormatUint(uint64(st.Generation), 10))
+	httpx.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"docs":       st.Docs,
+		"generation": st.Generation,
+	})
+}

@@ -1,0 +1,301 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deepweb/internal/engine"
+	"deepweb/internal/index"
+	"deepweb/internal/semserv"
+	"deepweb/internal/webgen"
+	"deepweb/internal/webtables"
+)
+
+// The /v1 surface is a contract: every endpoint's exact JSON shape is
+// pinned as a golden file under testdata/ (regenerate with
+// `go test ./internal/api -update` after an intentional change).
+// Volatile fields (took_ms) are zeroed before comparison.
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testEngine builds a tiny hand-indexed engine: four documents over
+// two hosts with fixed text, so scores, ids and tie order are fully
+// deterministic and the goldens stay small and readable.
+func testEngine() *engine.Engine {
+	e := engine.New(webgen.NewWeb())
+	docs := []index.Doc{
+		{URL: "http://cars.example/d/0", Title: "used ford focus", Text: "a used ford focus for sale in seattle", Source: "cars-form"},
+		{URL: "http://cars.example/d/1", Title: "used honda civic", Text: "a used honda civic for sale in portland", Source: "cars-form"},
+		{URL: "http://blog.example/p/0", Title: "road trip diary", Text: "our ford focus drove across the country"},
+		{URL: "http://blog.example/p/1", Title: "city guide", Text: "seattle coffee and rain"},
+	}
+	for _, d := range docs {
+		e.Index.Add(d)
+	}
+	return e
+}
+
+func testSemantics() *semserv.Server {
+	acs := &webtables.ACSDb{Freq: map[string]int{}, Pair: map[[2]string]int{}}
+	for i := 0; i < 20; i++ {
+		acs.AddSchema([]string{"make", "model", "price"})
+	}
+	for i := 0; i < 15; i++ {
+		acs.AddSchema([]string{"maker", "model", "price"})
+	}
+	vals := webtables.NewValueStore()
+	vals.AddColumn("city", []string{"seattle", "portland", "seattle"})
+	tables := []webtables.RawTable{
+		{URL: "http://t.example/1", Headers: []string{"city", "population"}, Rows: [][]string{{"seattle", "700000"}}},
+	}
+	return semserv.New(acs, vals, tables)
+}
+
+func testServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Engine == nil {
+		e := testEngine()
+		opts.Engine = func() *engine.Engine { return e }
+	}
+	if opts.Semantics == nil {
+		opts.Semantics = testSemantics()
+	}
+	return New(opts)
+}
+
+// normalize re-encodes a JSON body deterministically, zeroing the
+// volatile took_ms field.
+func normalize(t *testing.T, body []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	if m, ok := v.(map[string]any); ok {
+		if _, ok := m["took_ms"]; ok {
+			m["took_ms"] = 0
+		}
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+// checkGolden compares a normalized body against testdata/<name>.json.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	got := normalize(t, body)
+	path := filepath.Join("testdata", name+".json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/api -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden contract:\n--- want\n%s--- got\n%s", name, want, got)
+	}
+}
+
+// do issues one request against the server and returns the recorder.
+func do(s *Server, method, target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	return rec
+}
+
+// Every /v1 endpoint, success and failure, against its golden.
+func TestV1ContractGoldens(t *testing.T) {
+	reloaded := false
+	s := testServer(t, Options{
+		Reload: func() error { reloaded = true; return nil },
+		Stats: func(Stats) Stats {
+			return Stats{
+				Docs:           4,
+				Deleted:        1,
+				TombstoneRatio: 0.2,
+				Generation:     3203334458,
+				LastReload:     "2026-07-27T00:00:00Z",
+				Tables:         1,
+			}
+		},
+	})
+	cases := []struct {
+		name   string
+		method string
+		target string
+		status int
+	}{
+		{"search", "GET", "/v1/search?q=ford+focus&k=3", 200},
+		{"search_paged", "GET", "/v1/search?q=ford+focus&k=1&offset=1", 200},
+		{"search_host", "GET", "/v1/search?q=ford+focus&host=blog.example", 200},
+		{"search_k_clamped", "GET", "/v1/search?q=seattle&k=99999999", 200},
+		{"search_missing_q", "GET", "/v1/search", 400},
+		// Lenient parameter dialect, same as the semantics endpoints:
+		// malformed k/offset serve the defaults, not a 400.
+		{"search_k_defaulted", "GET", "/v1/search?q=seattle&k=abc", 200},
+		{"search_offset_defaulted", "GET", "/v1/search?q=seattle&offset=-2", 200},
+		{"search_method", "POST", "/v1/search?q=x", 405},
+		{"synonyms", "GET", "/v1/semantics/synonyms?attr=make&k=3", 200},
+		{"synonyms_missing_attr", "GET", "/v1/semantics/synonyms", 400},
+		{"synonyms_method", "DELETE", "/v1/semantics/synonyms?attr=make", 405},
+		{"autocomplete", "GET", "/v1/semantics/autocomplete?attrs=make&k=3", 200},
+		{"values", "GET", "/v1/semantics/values?attr=city&k=5", 200},
+		{"properties", "GET", "/v1/semantics/properties?entity=seattle&k=5", 200},
+		{"tables", "GET", "/v1/semantics/tables?q=population&k=5", 200},
+		{"stats", "GET", "/v1/admin/stats", 200},
+		{"stats_method", "POST", "/v1/admin/stats", 405},
+		{"reload", "POST", "/v1/admin/reload", 200},
+		{"reload_method", "GET", "/v1/admin/reload", 405},
+		{"healthz", "GET", "/healthz", 200},
+		{"not_found", "GET", "/v1/nosuch", 404},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := do(s, c.method, c.target)
+			if rec.Code != c.status {
+				t.Fatalf("%s %s: status %d, want %d\n%s", c.method, c.target, rec.Code, c.status, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("%s: Content-Type %q", c.target, ct)
+			}
+			checkGolden(t, c.name, rec.Body.Bytes())
+		})
+	}
+	if !reloaded {
+		t.Error("POST /v1/admin/reload never invoked the reload hook")
+	}
+}
+
+// Responses that depend on index contents carry the generation header.
+func TestGenerationHeader(t *testing.T) {
+	s := testServer(t, Options{Stats: func(Stats) Stats { return Stats{Generation: 42} }})
+	for _, target := range []string{"/v1/search?q=ford", "/v1/admin/stats", "/healthz"} {
+		rec := do(s, "GET", target)
+		if got := rec.Header().Get("X-Generation"); target == "/v1/search?q=ford" {
+			// Search reports the engine's generation (0: built live).
+			if got != "0" {
+				t.Errorf("%s: X-Generation %q, want 0", target, got)
+			}
+		} else if got != "42" {
+			t.Errorf("%s: X-Generation %q, want 42", target, got)
+		}
+	}
+}
+
+// HEAD is GET-without-body: liveness probes and load balancers use it,
+// so every GET endpoint must admit it instead of answering 405.
+func TestHEADAdmittedOnGETEndpoints(t *testing.T) {
+	s := testServer(t, Options{})
+	for _, target := range []string{"/healthz", "/v1/search?q=ford", "/v1/admin/stats", "/v1/semantics/values?attr=city"} {
+		if rec := do(s, "HEAD", target); rec.Code != 200 {
+			t.Errorf("HEAD %s: status %d, want 200", target, rec.Code)
+		}
+	}
+}
+
+// A process without a snapshot cannot reload; one whose reload fails
+// reports it without dying.
+func TestReloadUnavailableAndFailing(t *testing.T) {
+	s := testServer(t, Options{})
+	rec := do(s, "POST", "/v1/admin/reload")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), `"code":"unavailable"`) {
+		t.Errorf("nil reload: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	s = testServer(t, Options{Reload: func() error { return errors.New("segment checksum mismatch") }})
+	rec = do(s, "POST", "/v1/admin/reload")
+	if rec.Code != 500 || !strings.Contains(rec.Body.String(), "segment checksum mismatch") {
+		t.Errorf("failing reload: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// Without an engine, /v1/search is absent (404 envelope), while the
+// rest of the surface still serves — the semserver deployment shape.
+func TestSearchDisabledWithoutEngine(t *testing.T) {
+	s := New(Options{Semantics: testSemantics()})
+	rec := do(s, "GET", "/v1/search?q=x")
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), `"code":"not_found"`) {
+		t.Errorf("disabled search: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(s, "GET", "/v1/semantics/values?attr=city"); rec.Code != 200 {
+		t.Errorf("semantics broken without engine: %d", rec.Code)
+	}
+	if rec := do(s, "GET", "/healthz"); rec.Code != 200 {
+		t.Errorf("healthz broken without engine: %d", rec.Code)
+	}
+}
+
+// Derived stats (no Stats override) reflect the engine and store.
+func TestDerivedStats(t *testing.T) {
+	e := testEngine()
+	e.Index.Delete(3)
+	s := New(Options{
+		Engine:    func() *engine.Engine { return e },
+		Semantics: testSemantics(),
+	})
+	rec := do(s, "GET", "/v1/admin/stats")
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Docs != 3 || st.Deleted != 1 || st.TombstoneRatio != 0.25 || st.Tables != 1 {
+		t.Errorf("derived stats = %+v", st)
+	}
+}
+
+// The full pagination contract over HTTP: k echoes clamped, offsets
+// tile, totals are page-independent.
+func TestSearchPaginationOverHTTP(t *testing.T) {
+	s := testServer(t, Options{})
+	page := func(k, offset int) (hits []json.RawMessage, total int) {
+		rec := do(s, "GET", fmt.Sprintf("/v1/search?q=ford+focus&k=%d&offset=%d", k, offset))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		var resp struct {
+			Total   int               `json:"total"`
+			Results []json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Results, resp.Total
+	}
+	all, total := page(1000, 0)
+	if total != len(all) || total == 0 {
+		t.Fatalf("exhaustive page: %d hits, total %d", len(all), total)
+	}
+	var tiled []json.RawMessage
+	for off := 0; off < total; off++ {
+		hits, tot := page(1, off)
+		if tot != total {
+			t.Fatalf("offset %d: total %d, want %d", off, tot, total)
+		}
+		tiled = append(tiled, hits...)
+	}
+	if len(tiled) != len(all) {
+		t.Fatalf("tiled %d hits, want %d", len(tiled), len(all))
+	}
+	for i := range all {
+		if string(tiled[i]) != string(all[i]) {
+			t.Fatalf("page tiling diverges at rank %d", i)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package cliutil holds the few lines every binary's main shares:
+// startup flag validation that fails loudly with a usage error instead
+// of letting a nonsensical value surface as an obscure failure deep in
+// the stack.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// IntFlag names one integer flag value to validate.
+type IntFlag struct {
+	Name  string
+	Value int
+}
+
+// RequirePositive exits with a usage error (status 2) if any flag is
+// < 1. Flags are checked in the order given, so the first offender in
+// declaration order is the one reported.
+func RequirePositive(prog string, flags ...IntFlag) {
+	for _, f := range flags {
+		if f.Value < 1 {
+			fmt.Fprintf(os.Stderr, "%s: %s must be >= 1 (got %d)\n\n", prog, f.Name, f.Value)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/url"
 	"testing"
 
@@ -23,7 +24,7 @@ func BenchmarkSurfaceSite(b *testing.B) {
 	var urls int
 	for i := 0; i < b.N; i++ {
 		s := NewSurfacer(fetch, DefaultConfig())
-		res, err := s.SurfaceSite(site.HomeURL())
+		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func BenchmarkIngestURLs(b *testing.B) {
 	web.AddSite(site)
 	fetch := webx.NewFetcher(web)
 	s := NewSurfacer(fetch, DefaultConfig())
-	res, err := s.SurfaceSite(site.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func BenchmarkIngestURLs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix := index.New()
-		IngestURLs(fetch, ix, "f", res.URLs, 2)
+		IngestURLs(context.Background(), fetch, ix, "f", res.URLs, 2)
 	}
 }
 

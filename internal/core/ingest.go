@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/url"
 	"strings"
 
@@ -57,26 +58,33 @@ func (fl IngestFilter) admits(items int) bool {
 // IngestURLs fetches each surfaced URL and inserts it into the index
 // with the given source attribution. followNext > 0 additionally walks
 // up to that many "next page" continuations per URL — the index-refresh
-// crawling the paper says discovers more content over time.
-func IngestURLs(f *webx.Fetcher, ix DocSink, source string, urls []string, followNext int) IngestStats {
-	return IngestURLsFiltered(f, ix, source, urls, followNext, IngestFilter{})
+// crawling the paper says discovers more content over time. A canceled
+// context stops between fetches; the stats cover the work done so far.
+func IngestURLs(ctx context.Context, f *webx.Fetcher, ix DocSink, source string, urls []string, followNext int) IngestStats {
+	return IngestURLsFiltered(ctx, f, ix, source, urls, followNext, IngestFilter{})
 }
 
 // IngestURLsFiltered is IngestURLs with the §5.2 admission criterion
 // applied per fetched page ("the pages we extract should neither have
 // too many results on a single surfaced page nor too few").
-func IngestURLsFiltered(f *webx.Fetcher, ix DocSink, source string, urls []string, followNext int, filt IngestFilter) IngestStats {
+func IngestURLsFiltered(ctx context.Context, f *webx.Fetcher, ix DocSink, source string, urls []string, followNext int, filt IngestFilter) IngestStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st IngestStats
 	for _, u := range urls {
-		st.ingestOne(f, ix, source, u, followNext, filt)
+		if ctx.Err() != nil {
+			break
+		}
+		st.ingestOne(ctx, f, ix, source, u, followNext, filt)
 	}
 	return st
 }
 
-func (st *IngestStats) ingestOne(f *webx.Fetcher, ix DocSink, source, u string, followNext int, filt IngestFilter) {
+func (st *IngestStats) ingestOne(ctx context.Context, f *webx.Fetcher, ix DocSink, source, u string, followNext int, filt IngestFilter) {
 	cur := u
 	for hop := 0; ; hop++ {
-		if ix.Has(cur) {
+		if ctx.Err() != nil || ix.Has(cur) {
 			return
 		}
 		page, err := f.Get(cur)

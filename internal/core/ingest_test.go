@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -21,7 +22,7 @@ func surfacedLibrary(t *testing.T) (*webgen.Web, *webx.Fetcher, *Result) {
 	web.AddSite(site)
 	fetch := webx.NewFetcher(web)
 	s := NewSurfacer(fetch, DefaultConfig())
-	res, err := s.SurfaceSite(site.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,9 +55,9 @@ func TestIngestFilterAdmits(t *testing.T) {
 func TestIngestFilteredRejects(t *testing.T) {
 	_, fetch, res := surfacedLibrary(t)
 	plain := index.New()
-	stPlain := IngestURLs(fetch, plain, "f", res.URLs, 0)
+	stPlain := IngestURLs(context.Background(), fetch, plain, "f", res.URLs, 0)
 	strict := index.New()
-	stStrict := IngestURLsFiltered(fetch, strict, "f", res.URLs, 0, IngestFilter{MinItems: 1, MaxItems: 3})
+	stStrict := IngestURLsFiltered(context.Background(), fetch, strict, "f", res.URLs, 0, IngestFilter{MinItems: 1, MaxItems: 3})
 	if stStrict.Rejected == 0 {
 		t.Error("tight band rejected nothing")
 	}
@@ -71,7 +72,7 @@ func TestIngestFilteredRejects(t *testing.T) {
 func TestIngestAnnotatesFromBinding(t *testing.T) {
 	_, fetch, res := surfacedLibrary(t)
 	ix := index.New()
-	IngestURLs(fetch, ix, "f", res.URLs, 0)
+	IngestURLs(context.Background(), fetch, ix, "f", res.URLs, 0)
 	annotated := 0
 	for id := 0; id < ix.Len(); id++ {
 		anns := ix.AnnotationsOf(id)
@@ -108,7 +109,7 @@ func TestIngestErrorURLs(t *testing.T) {
 	web := webgen.NewWeb() // empty internet: every URL 404s
 	fetch := webx.NewFetcher(web)
 	ix := index.New()
-	st := IngestURLs(fetch, ix, "f", []string{"http://nosuch.example/results?q=x"}, 0)
+	st := IngestURLs(context.Background(), fetch, ix, "f", []string{"http://nosuch.example/results?q=x"}, 0)
 	if st.Errors != 1 || st.Indexed != 0 {
 		t.Errorf("stats = %+v", st)
 	}
@@ -123,7 +124,7 @@ func TestSurfaceSiteNoFormIsPostOnly(t *testing.T) {
 	s := NewSurfacer(fetch, DefaultConfig())
 	// Surface the *record* page as if it were a homepage: no form there
 	// and no same-host non-query links to one.
-	res, err := s.SurfaceSite("http://" + site.Spec.Host + "/record?id=0")
+	res, err := s.SurfaceSite(context.Background(), "http://"+site.Spec.Host+"/record?id=0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestSurfaceSiteUnreachableHomepage(t *testing.T) {
 	web := webgen.NewWeb()
 	fetch := webx.NewFetcher(web)
 	s := NewSurfacer(fetch, DefaultConfig())
-	res, err := s.SurfaceSite("http://nosuch.example/")
+	res, err := s.SurfaceSite(context.Background(), "http://nosuch.example/")
 	if err != nil {
 		t.Fatalf("404 homepage should not error: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestSurfaceSiteMalformedHTML(t *testing.T) {
 	}))
 	fetch := webx.NewFetcher(web)
 	s := NewSurfacer(fetch, DefaultConfig())
-	res, err := s.SurfaceSite("http://soup.example/")
+	res, err := s.SurfaceSite(context.Background(), "http://soup.example/")
 	if err != nil {
 		t.Fatalf("surfacer failed on tag soup: %v", err)
 	}
@@ -192,7 +193,7 @@ func TestProbeKeywordsStandalone(t *testing.T) {
 	}
 	home, _ := fetch.Get(site.HomeURL())
 	seeds := SeedKeywords([]string{home.Text()}, 10)
-	kws := ProbeKeywords(fetch, f, "q", seeds, DefaultConfig())
+	kws := ProbeKeywords(context.Background(), fetch, f, "q", seeds, DefaultConfig())
 	if len(kws) == 0 {
 		t.Fatal("standalone probing found nothing")
 	}

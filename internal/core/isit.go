@@ -147,11 +147,12 @@ func (s *Surfacer) indexable(e TemplateEval) bool {
 
 // evalTemplate probes a deterministic sample of the template's
 // submissions. The bool result is false only when the probe budget ran
-// out mid-evaluation — the one condition that should end the whole
-// template search. An unprobeable binding (POST form) aborts just this
-// template's evaluation with budgetOK=true, and a transient fetch
-// failure skips just that submission, so neither starves the remaining
-// templates of probes they are still entitled to.
+// out mid-evaluation or the run was canceled — the two conditions that
+// should end the whole template search. An unprobeable binding (POST
+// form) aborts just this template's evaluation with budgetOK=true, and
+// a transient fetch failure skips just that submission, so neither
+// starves the remaining templates of probes they are still entitled
+// to.
 func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (TemplateEval, bool) {
 	all := enumerate(dims, sel)
 	if len(all) == 0 {
@@ -163,7 +164,7 @@ func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (Temp
 	totalItems := 0
 	for _, b := range sample {
 		obs, err := s.prober.probe(f, b)
-		if errors.Is(err, errBudget) {
+		if stopProbing(err) {
 			return eval, false
 		}
 		if errors.Is(err, errUnprobeable) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -23,8 +24,10 @@ type observation struct {
 
 // prober issues form submissions against a fetch budget. All analysis
 // traffic — the "off-line analysis" load of §3.2 — flows through here,
-// so experiments can meter it.
+// so experiments can meter it, and cancellation is enforced here, so a
+// canceled surfacing run stops within one probe round-trip.
 type prober struct {
+	ctx    context.Context
 	fetch  *webx.Fetcher
 	budget int
 	used   int
@@ -46,10 +49,23 @@ var (
 	errUnprobeable = errors.New("core: binding not probeable by URL")
 )
 
+// stopProbing reports whether a probe error ends all further probing
+// for the site: the budget ran out, or the surfacing context was
+// canceled. Unprobeable bindings and transient fetch failures are NOT
+// stop conditions — they condemn one template or one submission.
+func stopProbing(err error) bool {
+	return errors.Is(err, errBudget) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // probe issues one form submission. A nil error carries a valid
-// observation; otherwise the error is errBudget, errUnprobeable, or a
-// wrapped fetch/HTTP failure (check with errors.Is).
+// observation; otherwise the error is errBudget, errUnprobeable, the
+// context's cancellation error, or a wrapped fetch/HTTP failure (check
+// with errors.Is).
 func (p *prober) probe(f *form.Form, b form.Binding) (observation, error) {
+	if err := p.ctx.Err(); err != nil {
+		return observation{}, err
+	}
 	if p.used >= p.budget {
 		return observation{}, errBudget
 	}
@@ -124,10 +140,14 @@ type keywordInfo struct {
 // ProbeKeywords runs the §4.1 iterative-probing loop standalone against
 // one text input and returns the selected keywords. It exists for
 // experiments that study probing in isolation (E6); SurfaceSite uses
-// the same loop internally.
-func ProbeKeywords(f *webx.Fetcher, fm *form.Form, input string, seeds []string, cfg Config) []string {
+// the same loop internally. A canceled context stops the loop between
+// probe submissions and returns the keywords selected so far.
+func ProbeKeywords(ctx context.Context, f *webx.Fetcher, fm *form.Form, input string, seeds []string, cfg Config) []string {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := NewSurfacer(f, cfg)
-	s.prober = &prober{fetch: f, budget: cfg.ProbeBudget}
+	s.prober = &prober{ctx: ctx, fetch: f, budget: cfg.ProbeBudget}
 	kws := s.probeSearchBox(fm, input, form.Binding{}, seeds)
 	out := make([]string, len(kws))
 	for i, k := range kws {
@@ -162,9 +182,9 @@ func (s *Surfacer) probeSearchBox(f *form.Form, inputName string, fixed form.Bin
 			b := fixed.Clone()
 			b[inputName] = kw
 			obs, err := s.prober.probe(f, b)
-			if errors.Is(err, errBudget) || errors.Is(err, errUnprobeable) {
-				// No budget left, or the input can never be probed:
-				// further keywords cannot fare better.
+			if stopProbing(err) || errors.Is(err, errUnprobeable) {
+				// No budget left, run canceled, or the input can never
+				// be probed: further keywords cannot fare better.
 				break
 			}
 			if err != nil {

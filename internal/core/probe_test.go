@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/url"
@@ -43,12 +44,12 @@ func TestProbeDistinguishesFailures(t *testing.T) {
 	f, getForm, postForm := testForms(t)
 	b := form.Binding{"make": "ford"}
 
-	p := &prober{fetch: f, budget: 0}
+	p := &prober{ctx: context.Background(), fetch: f, budget: 0}
 	if _, err := p.probe(getForm, b); !errors.Is(err, errBudget) {
 		t.Errorf("exhausted budget: got %v, want errBudget", err)
 	}
 
-	p = &prober{fetch: f, budget: 10}
+	p = &prober{ctx: context.Background(), fetch: f, budget: 10}
 	if _, err := p.probe(postForm, b); !errors.Is(err, errUnprobeable) {
 		t.Errorf("POST form: got %v, want errUnprobeable", err)
 	}
@@ -67,7 +68,7 @@ func TestProbeDistinguishesFailures(t *testing.T) {
 func TestEvalTemplateUnprobeableIsNotBudgetExhaustion(t *testing.T) {
 	f, _, postForm := testForms(t)
 	s := NewSurfacer(f, DefaultConfig())
-	s.prober = &prober{fetch: f, budget: 100}
+	s.prober = &prober{ctx: context.Background(), fetch: f, budget: 100}
 	dims := []Dimension{{Name: "make", Inputs: []string{"make"}, Values: [][]string{{"ford"}, {"honda"}}}}
 
 	eval, budgetOK := s.evalTemplate(postForm, dims, []int{0})
@@ -82,7 +83,7 @@ func TestEvalTemplateUnprobeableIsNotBudgetExhaustion(t *testing.T) {
 	}
 
 	// And with the budget genuinely gone, the old signal still fires.
-	s.prober = &prober{fetch: f, budget: 0}
+	s.prober = &prober{ctx: context.Background(), fetch: f, budget: 0}
 	if _, budgetOK := s.evalTemplate(postForm, dims, []int{0}); budgetOK {
 		t.Fatal("exhausted budget not reported")
 	}
@@ -118,7 +119,7 @@ func TestEvalTemplateSkipsFailedFetches(t *testing.T) {
 	}
 
 	s := NewSurfacer(f, DefaultConfig())
-	s.prober = &prober{fetch: f, budget: 100}
+	s.prober = &prober{ctx: context.Background(), fetch: f, budget: 100}
 	makes := site.Table.DistinctStrings("make")
 	if len(makes) > 9 {
 		// Keep the whole template inside one evaluation sample

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -93,12 +94,22 @@ func NewSurfacer(f *webx.Fetcher, cfg Config) *Surfacer {
 // returns the URLs to insert into the index. It discovers the form by
 // following same-host links from the homepage, exactly as a crawler
 // that has already indexed the site's surface pages would.
-func (s *Surfacer) SurfaceSite(homeURL string) (*Result, error) {
-	s.prober = &prober{fetch: s.Fetch, budget: s.Cfg.ProbeBudget}
+//
+// The context cancels the analysis between probe submissions: a
+// canceled run stops issuing traffic within one probe round-trip and
+// returns ctx.Err() instead of a partial result.
+func (s *Surfacer) SurfaceSite(ctx context.Context, homeURL string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.prober = &prober{ctx: ctx, fetch: s.Fetch, budget: s.Cfg.ProbeBudget}
 	res := &Result{}
 
 	f, seedTexts, err := s.findForm(homeURL)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if f == nil {
@@ -112,6 +123,12 @@ func (s *Surfacer) SurfaceSite(homeURL string) (*Result, error) {
 	s.buildDimensions(&res.Analysis)
 	s.runISIT(res)
 	res.ProbesUsed = s.prober.used
+	// Probing loops treat cancellation like budget exhaustion (settle
+	// for what is learned); the caller must see the abort, not a
+	// partial result it might commit as complete.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -131,7 +148,7 @@ func (s *Surfacer) findForm(homeURL string) (*form.Form, []string, error) {
 		if strings.Contains(l, "?") || !sameHost(l, homeURL) {
 			continue
 		}
-		if s.prober.used >= s.prober.budget {
+		if s.prober.used >= s.prober.budget || s.prober.ctx.Err() != nil {
 			break
 		}
 		p, err := s.Fetch.Get(l)
@@ -248,7 +265,7 @@ func (s *Surfacer) confirmType(f *form.Form, inputName, typ string) ([]string, b
 			break
 		}
 		obs, err := s.prober.probe(f, form.Binding{inputName: v})
-		if errors.Is(err, errBudget) || errors.Is(err, errUnprobeable) {
+		if stopProbing(err) || errors.Is(err, errUnprobeable) {
 			break
 		}
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/url"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func surfaceDomain(t *testing.T, domain string, rows int, cfg Config) (*webgen.W
 	}
 	web.AddSite(site)
 	s := NewSurfacer(webx.NewFetcher(web), cfg)
-	res, err := s.SurfaceSite(site.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSurfacePostOnly(t *testing.T) {
 	post := webgen.AsPost(site)
 	web.AddSite(post)
 	s := NewSurfacer(webx.NewFetcher(web), DefaultConfig())
-	res, err := s.SurfaceSite(post.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), post.HomeURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestSurfaceRespectsProbeBudget(t *testing.T) {
 	cfg.ProbeBudget = 40
 	web.ResetCounts()
 	s := NewSurfacer(webx.NewFetcher(web), cfg)
-	if _, err := s.SurfaceSite(site.HomeURL()); err != nil {
+	if _, err := s.SurfaceSite(context.Background(), site.HomeURL()); err != nil {
 		t.Fatal(err)
 	}
 	// Analysis traffic (all requests; nothing else ran) must respect
@@ -232,7 +233,7 @@ func TestNaiveVsRangeAwareURLCounts(t *testing.T) {
 func TestIngestSurfacedURLs(t *testing.T) {
 	web, site, res := surfaceDomain(t, "faculty", 200, DefaultConfig())
 	ix := index.New()
-	st := IngestURLs(webx.NewFetcher(web), ix, res.Analysis.Form.ID, res.URLs, 3)
+	st := IngestURLs(context.Background(), webx.NewFetcher(web), ix, res.Analysis.Form.ID, res.URLs, 3)
 	if st.Indexed == 0 {
 		t.Fatal("nothing indexed")
 	}
@@ -254,9 +255,9 @@ func TestIngestFollowsPaging(t *testing.T) {
 	web, site, res := surfaceDomain(t, "usedcars", 400, DefaultConfig())
 	ix := index.New()
 	// followNext=0: page-1 docs only.
-	st0 := IngestURLs(webx.NewFetcher(web), ix, "f", res.URLs, 0)
+	st0 := IngestURLs(context.Background(), webx.NewFetcher(web), ix, "f", res.URLs, 0)
 	ix2 := index.New()
-	st2 := IngestURLs(webx.NewFetcher(web), ix2, "f", res.URLs, 5)
+	st2 := IngestURLs(context.Background(), webx.NewFetcher(web), ix2, "f", res.URLs, 5)
 	if st2.Indexed <= st0.Indexed {
 		t.Errorf("paging follow added nothing: %d vs %d", st2.Indexed, st0.Indexed)
 	}

@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 	"sync"
@@ -37,10 +38,16 @@ type Engine struct {
 	Fetch *webx.Fetcher
 	Index *index.Index
 
-	// Workers bounds how many sites SurfaceAll analyzes, probes and
+	// Workers bounds how many sites Surface analyzes, probes and
 	// fetches concurrently. 0 or 1 runs sequentially. Results are
 	// identical for every value; Workers only buys wall-clock.
 	Workers int
+
+	// Generation identifies the snapshot this engine's index contents
+	// correspond to: set by Load from the snapshot header, refreshed by
+	// Save from the newly written segment's content hash. 0 means the
+	// index was built live and has never crossed a snapshot boundary.
+	Generation uint32
 
 	// Results holds each site's surfacing outcome, keyed by host.
 	Results map[string]*core.Result
@@ -128,10 +135,37 @@ func (e *Engine) trackDoc(rawURL string, id int) {
 	}
 }
 
-// SurfaceAll runs the surfacing pipeline over every site and ingests
-// the emitted URLs, attributing each document to its site's form.
-func (e *Engine) SurfaceAll(cfg core.Config, followNext int) error {
-	return e.SurfaceAllFiltered(cfg, followNext, core.IngestFilter{})
+// SurfaceRequest configures one Surface pass over the world's sites.
+// The zero Filter surfaces unfiltered; set it to apply the §5.2
+// index-admission band to fetched pages.
+type SurfaceRequest struct {
+	// Config drives form analysis and probing (budgets, thresholds).
+	Config core.Config
+	// FollowNext walks up to this many "next page" continuations per
+	// surfaced URL at ingestion time.
+	FollowNext int
+	// Filter is the §5.2 index-admission criterion; the zero value
+	// admits every fetched page.
+	Filter core.IngestFilter
+}
+
+// Surface runs the surfacing pipeline over every site and ingests the
+// emitted URLs, attributing each document to its site's form. The
+// context cancels the run: in-flight sites abort between probe
+// submissions, unstarted sites are skipped, the ordered-commit loop
+// drains cleanly, and the context's error is returned. Sites already
+// committed stay committed — cancellation never corrupts the index.
+func (e *Engine) Surface(ctx context.Context, req SurfaceRequest) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.surfacePipeline(ctx, e.Web.Sites(), pipelineRun{
+		cfg:        req.Config,
+		followNext: req.FollowNext,
+		filt:       req.Filter,
+		fetch:      e.Fetch,
+		commit:     e.commitOutcome,
+	})
 }
 
 // siteOutcome is everything one site's pipeline pass produced, parked
@@ -147,29 +181,42 @@ type siteOutcome struct {
 	err      error
 }
 
-// SurfaceAllFiltered is SurfaceAll with the §5.2 index-admission
-// criterion applied to fetched pages.
-func (e *Engine) SurfaceAllFiltered(cfg core.Config, followNext int, filt core.IngestFilter) error {
-	return e.surfacePipeline(e.Web.Sites(), cfg, followNext, filt, e.commitOutcome)
+// pipelineRun is one surfacing pass's wiring: the analysis config, the
+// ingestion knobs, the fetcher the workers issue traffic through (the
+// engine's own, or a politeness-capped wrapper during Refresh), and
+// the commit hook the ordered drain invokes per successful site.
+type pipelineRun struct {
+	cfg        core.Config
+	followNext int
+	filt       core.IngestFilter
+	fetch      *webx.Fetcher
+	commit     func(*siteOutcome)
 }
 
 // surfacePipeline runs the staged pipeline over the given sites and
-// drains outcomes through commit at the single ordered commit point.
+// drains outcomes through run.commit at the single ordered commit
+// point.
 //
 // Concurrency contract: a site is handled end-to-end by one worker, and
 // every request it issues targets the site's own host, so per-host
 // request counts are exact. Fetched documents buffer in a stagedSink;
 // the commit loop drains outcomes in site order, assigning doc ids and
-// inserting postings. On error, sites earlier in the order are still
-// committed (matching sequential semantics) and the first error in site
-// order is returned. Request metering is recorded for every site that
-// did work — including the failing site itself and any site that
-// completed before cancellation reached it — because that analysis
-// traffic really hit the hosts (§3.2 accounting); only the metering of
-// an aborted run depends on worker timing, never committed results.
-func (e *Engine) surfacePipeline(sites []*webgen.Site, cfg core.Config, followNext int, filt core.IngestFilter, commit func(*siteOutcome)) error {
+// inserting postings. On error or context cancellation, sites earlier
+// in the order are still committed (matching sequential semantics) and
+// the first error in site order is returned. Request metering is
+// recorded for every site that did work — including the failing site
+// itself and any site that completed before cancellation reached it —
+// because that analysis traffic really hit the hosts (§3.2
+// accounting); only the metering of an aborted run depends on worker
+// timing, never committed results.
+//
+// Cancellation drains cleanly: every dispatched job yields exactly one
+// outcome (a canceled worker reports ctx.Err() instead of surfacing),
+// so the ordered loop always receives len(sites) outcomes and the
+// WaitGroup always settles — no goroutine leaks, no deadlock.
+func (e *Engine) surfacePipeline(ctx context.Context, sites []*webgen.Site, run pipelineRun) error {
 	if len(sites) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := e.Workers
 	if workers < 1 {
@@ -190,11 +237,15 @@ func (e *Engine) surfacePipeline(sites []*webgen.Site, cfg core.Config, followNe
 		go func() {
 			defer wg.Done()
 			for pos := range jobs {
+				if err := ctx.Err(); err != nil {
+					outcomes <- &siteOutcome{pos: pos, host: sites[pos].Spec.Host, err: err}
+					continue
+				}
 				select {
 				case <-quit:
 					outcomes <- &siteOutcome{pos: pos, host: sites[pos].Spec.Host, err: errCancelled}
 				default:
-					out := e.surfaceOne(sites[pos], cfg, followNext, filt)
+					out := e.surfaceOne(ctx, sites[pos], run)
 					out.pos = pos
 					outcomes <- out
 				}
@@ -229,7 +280,7 @@ func (e *Engine) surfacePipeline(sites []*webgen.Site, cfg core.Config, followNe
 				quitOnce.Do(func() { close(quit) })
 				continue
 			}
-			commit(out)
+			run.commit(out)
 		}
 	}
 	wg.Wait()
@@ -256,11 +307,11 @@ var errCancelled = fmt.Errorf("engine: cancelled")
 // probing + URL generation (core.Surfacer), then fetch of every emitted
 // URL into a buffering sink. No shared index state is written. The
 // request delta is measured even on failure — the traffic was issued.
-func (e *Engine) surfaceOne(site *webgen.Site, cfg core.Config, followNext int, filt core.IngestFilter) *siteOutcome {
+func (e *Engine) surfaceOne(ctx context.Context, site *webgen.Site, run pipelineRun) *siteOutcome {
 	host := site.Spec.Host
 	before := e.Web.Requests(host)
-	s := core.NewSurfacer(e.Fetch, cfg)
-	res, err := s.SurfaceSite(site.HomeURL())
+	s := core.NewSurfacer(run.fetch, run.cfg)
+	res, err := s.SurfaceSite(ctx, site.HomeURL())
 	if err != nil {
 		return &siteOutcome{host: host, err: err, requests: e.Web.Requests(host) - before}
 	}
@@ -269,14 +320,21 @@ func (e *Engine) surfaceOne(site *webgen.Site, cfg core.Config, followNext int, 
 		source = res.Analysis.Form.ID
 	}
 	sink := newStagedSink(e.Index)
-	stats := core.IngestURLsFiltered(e.Fetch, sink, source, res.URLs, followNext, filt)
+	stats := core.IngestURLsFiltered(ctx, run.fetch, sink, source, res.URLs, run.followNext, run.filt)
+	requests := e.Web.Requests(host) - before
+	// Ingestion swallows cancellation (its partial stats are still
+	// real); the pipeline must not — a site whose fetches were cut
+	// short may not be committed as complete.
+	if err := ctx.Err(); err != nil {
+		return &siteOutcome{host: host, err: err, requests: requests}
+	}
 	return &siteOutcome{
 		host:     host,
 		res:      res,
 		sink:     sink,
 		stats:    stats,
 		sig:      site.TableSignature(),
-		requests: e.Web.Requests(host) - before,
+		requests: requests,
 	}
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"reflect"
@@ -25,7 +26,7 @@ func buildEngine(t testing.TB, workers int) *Engine {
 	if n := e.IndexSurfaceWeb(); n == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
-	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -34,7 +35,7 @@ func buildEngine(t testing.TB, workers int) *Engine {
 // The acceptance bar of this refactor: parallel surfacing must be
 // bit-identical to sequential — same document set, same doc-id order,
 // same search results, same experiment metrics. Run with -race.
-func TestSurfaceAllDeterministicAcrossWorkers(t *testing.T) {
+func TestSurfaceDeterministicAcrossWorkers(t *testing.T) {
 	seq := buildEngine(t, 1)
 	par := buildEngine(t, 4)
 
@@ -131,14 +132,14 @@ func TestSearchStableUnderConcurrentQueries(t *testing.T) {
 
 // Worker counts beyond the site count, and the Workers=0 default, are
 // clamped rather than misbehaving.
-func TestSurfaceAllWorkerClamping(t *testing.T) {
+func TestSurfaceWorkerClamping(t *testing.T) {
 	for _, workers := range []int{0, 64} {
 		e, err := Build(webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 20})
 		if err != nil {
 			t.Fatal(err)
 		}
 		e.Workers = workers
-		if err := e.SurfaceAll(core.DefaultConfig(), 0); err != nil {
+		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if len(e.Results) != len(e.Web.Sites()) {
@@ -148,10 +149,10 @@ func TestSurfaceAllWorkerClamping(t *testing.T) {
 }
 
 // An empty world is a no-op, not a hang.
-func TestSurfaceAllEmptyWorld(t *testing.T) {
+func TestSurfaceEmptyWorld(t *testing.T) {
 	e := New(webgen.NewWeb())
 	e.Workers = 4
-	if err := e.SurfaceAll(core.DefaultConfig(), 0); err != nil {
+	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 		t.Fatal(err)
 	}
 	if e.Index.Len() != 0 {
@@ -162,14 +163,14 @@ func TestSurfaceAllEmptyWorld(t *testing.T) {
 // The filtered variant applies the §5.2 admission band at fetch time
 // in the workers (rejected pages never reach the sink), and the
 // per-host stats surface it.
-func TestSurfaceAllFilteredRejects(t *testing.T) {
+func TestSurfaceFilteredRejects(t *testing.T) {
 	run := func(filt core.IngestFilter) (indexed, rejected int) {
 		e, err := Build(webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 40})
 		if err != nil {
 			t.Fatal(err)
 		}
 		e.Workers = 4
-		if err := e.SurfaceAllFiltered(core.DefaultConfig(), 0, filt); err != nil {
+		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0, Filter: filt}); err != nil {
 			t.Fatal(err)
 		}
 		for _, st := range e.IngestStats {
@@ -205,7 +206,7 @@ func TestOfflineRequestsRecordedForFailedSite(t *testing.T) {
 	// the only way a virtual-web fetch fails.
 	e.Web.AddHandler(bad, http.RedirectHandler("http://"+bad+"/", http.StatusFound))
 	e.Workers = 2
-	if err := e.SurfaceAll(core.DefaultConfig(), 0); err == nil {
+	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err == nil {
 		t.Fatal("surfacing a redirect-looping site succeeded")
 	}
 	if got := e.OfflineRequests[bad]; got == 0 {
@@ -254,14 +255,14 @@ func TestFormOf(t *testing.T) {
 	}
 }
 
-func ExampleEngine_SurfaceAll() {
+func ExampleEngine_Surface() {
 	e, err := Build(webgen.WorldConfig{Seed: 42, SitesPerDom: 1, RowsPerSite: 30})
 	if err != nil {
 		panic(err)
 	}
 	e.Workers = 4
 	e.IndexSurfaceWeb()
-	if err := e.SurfaceAll(core.DefaultConfig(), 1); err != nil {
+	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 1}); err != nil {
 		panic(err)
 	}
 	fmt.Println(len(e.Results) == len(e.Web.Sites()))

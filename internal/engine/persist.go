@@ -65,6 +65,10 @@ func (e *Engine) Save(dir string) error {
 	if err := store.WriteMeta(store.MetaPath(dir), meta); err != nil {
 		return fmt.Errorf("engine: save meta: %w", err)
 	}
+	// The engine's contents now correspond to the written snapshot:
+	// adopt its content-derived generation id (served by Search and the
+	// /v1 layer's generation headers).
+	e.Generation = snapID
 	return nil
 }
 
@@ -89,6 +93,7 @@ func Load(dir string) (*Engine, error) {
 	}
 	e := newEngine()
 	e.Index = ix
+	e.Generation = hdr.SnapID
 	err = e.forEachShard(int(hdr.Shards), func(si int) error {
 		terms, ph, err := store.ReadPostings(store.PostingsPath(dir, si))
 		if err != nil {

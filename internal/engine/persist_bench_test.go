@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func BenchmarkRefresh(b *testing.B) {
 			}
 		}
 		b.StartTimer()
-		st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+		st, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkColdSurface(b *testing.B) {
 		e := New(web)
 		e.Workers = 4
 		e.IndexSurfaceWeb()
-		if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			b.Fatal(err)
 		}
 		docs = e.Index.Len()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
@@ -29,7 +30,7 @@ func surfacedEngine(t testing.TB, shards int) *Engine {
 	if e.IndexSurfaceWeb() == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
-	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	return e

@@ -1,11 +1,17 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
 
 	"deepweb/internal/core"
 	"deepweb/internal/index"
 	"deepweb/internal/webgen"
+	"deepweb/internal/webx"
 )
 
 // Refresh: the freshness half of the paper's economics. Surfacing is
@@ -21,7 +27,7 @@ import (
 // result pages and crawled surface-web pages alike) through the
 // index's tombstone path, re-runs the full per-site pipeline on the
 // worker pool, and commits through the same ordered commit point as
-// SurfaceAll — so Results, IngestStats, OfflineRequests, coverage and
+// Surface — so Results, IngestStats, OfflineRequests, coverage and
 // per-source accounting come out exactly as a from-scratch surface of
 // the changed site would produce. When tombstones pile past
 // CompactRatio, the index is compacted (and doc ids renumbered into
@@ -37,20 +43,79 @@ type RefreshStats struct {
 	Compacted    bool
 }
 
-// Refresh re-surfaces the sites in hosts (nil = every site) whose
-// content changed since they were last surfaced. A host with no
-// recorded signature counts as changed. The engine must carry a
-// virtual web (built or attached via LoadWith); a Load-ed engine
-// without one cannot refresh.
-func (e *Engine) Refresh(cfg core.Config, followNext int, hosts []string) (RefreshStats, error) {
+// RefreshRequest configures one Refresh pass. Config and FollowNext
+// mean what they mean on SurfaceRequest; the remaining fields are the
+// freshness/cost trade the crawl-scheduling literature frames —
+// which sites to check, how much of the original analysis budget a
+// re-surface may spend, and how hard a single host may be hit.
+type RefreshRequest struct {
+	// Config drives the re-surfacing analysis, subject to
+	// BudgetFraction below.
+	Config core.Config
+	// FollowNext is the per-URL paging depth at re-ingestion time.
+	FollowNext int
+	// Hosts restricts the signature check to these sites; nil checks
+	// every site. A listed host with no recorded signature counts as
+	// changed.
+	Hosts []string
+	// Filter re-applies the §5.2 admission band to re-fetched pages, so
+	// a filtered world refreshes under the band it was built with.
+	Filter core.IngestFilter
+	// BudgetFraction scales Config.ProbeBudget for the re-surface: a
+	// changed site is already mostly known, so refreshing it should
+	// cost a fraction of first-time analysis. 0 means the full budget;
+	// otherwise it must lie in (0, 1]. A site that exhausts its scaled
+	// budget mid-analysis is treated like a capped one: its signature
+	// is not recorded, so the next Refresh re-drives it rather than
+	// committing the shrunken corpus as fully refreshed.
+	BudgetFraction float64
+	// PerHostCap bounds the total requests Refresh may issue against
+	// any one host (probes, page fetches and surface-page refetches
+	// alike) — the politeness cap that keeps refreshing a big site from
+	// hammering it. Past the cap the host answers 429 locally and the
+	// site completes with partial results; a truncated site's signature
+	// is NOT recorded, so the next Refresh re-drives it and the index
+	// converges once budget allows. 0 means uncapped.
+	PerHostCap int
+}
+
+// Refresh re-surfaces the sites whose content changed since they were
+// last surfaced, per req. The engine must carry a virtual web (built
+// or attached via LoadWith); a Load-ed engine without one cannot
+// refresh. The context cancels the pass exactly as it cancels Surface:
+// committed sites stay committed, and ctx.Err() is returned.
+func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st RefreshStats
 	if e.Web == nil {
 		return st, fmt.Errorf("engine: refresh: no web attached (use LoadWith)")
 	}
+	cfg := req.Config
+	if req.BudgetFraction < 0 || req.BudgetFraction > 1 {
+		return st, fmt.Errorf("engine: refresh: BudgetFraction %v outside [0, 1] (0 = full budget)", req.BudgetFraction)
+	}
+	if req.BudgetFraction > 0 {
+		if cfg.ProbeBudget = int(float64(cfg.ProbeBudget) * req.BudgetFraction); cfg.ProbeBudget < 1 {
+			cfg.ProbeBudget = 1
+		}
+	}
+	fetch := e.Fetch
+	var capped *hostCapTransport
+	if req.PerHostCap > 0 {
+		capped = &hostCapTransport{
+			rt:      e.Web,
+			cap:     req.PerHostCap,
+			n:       map[string]int{},
+			refused: map[string]bool{},
+		}
+		fetch = webx.NewFetcher(capped)
+	}
 	var want map[string]bool
-	if hosts != nil {
-		want = make(map[string]bool, len(hosts))
-		for _, h := range hosts {
+	if req.Hosts != nil {
+		want = make(map[string]bool, len(req.Hosts))
+		for _, h := range req.Hosts {
 			want[h] = true
 		}
 	}
@@ -101,27 +166,48 @@ func (e *Engine) Refresh(cfg core.Config, followNext int, hosts []string) (Refre
 	// Re-surface on the shared pipeline. At each site's commit point
 	// the old surface-web pages are swapped for freshly fetched ones
 	// before the sink drains, mirroring a from-scratch run where the
-	// crawl indexes them ahead of surfacing.
-	err := e.surfacePipeline(changed, cfg, followNext, core.IngestFilter{}, func(out *siteOutcome) {
-		oldSurface := e.hostDocs[out.host]
-		e.hostDocs[out.host] = nil
-		for _, id := range oldSurface {
-			u := e.Index.Doc(id).URL
-			if e.Index.Delete(id) {
-				st.DocsDeleted++
+	// crawl indexes them ahead of surfacing. Refetches go through the
+	// same (possibly capped) fetcher as the workers' traffic, so
+	// PerHostCap covers every request of the pass.
+	err := e.surfacePipeline(ctx, changed, pipelineRun{
+		cfg:        cfg,
+		followNext: req.FollowNext,
+		filt:       req.Filter,
+		fetch:      fetch,
+		commit: func(out *siteOutcome) {
+			oldSurface := e.hostDocs[out.host]
+			e.hostDocs[out.host] = nil
+			for _, id := range oldSurface {
+				u := e.Index.Doc(id).URL
+				if e.Index.Delete(id) {
+					st.DocsDeleted++
+				}
+				page, err := fetch.Get(u)
+				if err != nil || page.Status != 200 {
+					continue // the page vanished; its tombstone stands
+				}
+				if nid, added := e.Index.Add(index.Doc{URL: u, Title: page.Title(), Text: page.Text()}); added {
+					e.trackDoc(u, nid)
+					st.SurfacePages++
+					st.DocsAdded++
+				}
 			}
-			page, err := e.Fetch.Get(u)
-			if err != nil || page.Status != 200 {
-				continue // the page vanished; its tombstone stands
+			e.commitOutcome(out)
+			st.DocsAdded += out.stats.Indexed
+			// A site whose pass was truncated — by the politeness cap,
+			// or by exhausting a deliberately reduced probe budget — is
+			// incomplete: leave it with no recorded signature (= always
+			// changed), so the next Refresh re-drives it and the index
+			// converges on the full re-surface once budget allows.
+			truncated := capped != nil && capped.refusedAny(out.host)
+			if req.BudgetFraction > 0 && req.BudgetFraction < 1 &&
+				out.res != nil && out.res.ProbesUsed >= cfg.ProbeBudget {
+				truncated = true
 			}
-			if nid, added := e.Index.Add(index.Doc{URL: u, Title: page.Title(), Text: page.Text()}); added {
-				e.trackDoc(u, nid)
-				st.SurfacePages++
-				st.DocsAdded++
+			if truncated {
+				delete(e.SiteSignatures, out.host)
 			}
-		}
-		e.commitOutcome(out)
-		st.DocsAdded += out.stats.Indexed
+		},
 	})
 	if err != nil {
 		return st, err
@@ -152,4 +238,53 @@ func (e *Engine) rebuildHostDocs() {
 	e.Index.ForEachLive(func(id int, d index.Doc) {
 		e.trackDoc(d.URL, id)
 	})
+}
+
+// hostCapTransport enforces RefreshRequest.PerHostCap: at most cap
+// requests per host reach the underlying transport during one Refresh
+// pass; every request past the cap is answered locally with 429 Too
+// Many Requests. The probe and ingest layers already treat a non-200
+// as a per-submission failure, so a capped site degrades to partial
+// results instead of aborting the pass — and the host never sees the
+// excess traffic, which is the point of a politeness cap.
+type hostCapTransport struct {
+	rt  http.RoundTripper
+	cap int
+
+	mu      sync.Mutex
+	n       map[string]int  // per-host requests forwarded so far
+	refused map[string]bool // hosts that have had a request refused
+}
+
+// refusedAny reports whether the cap ever refused a request to host —
+// i.e. the host's refresh pass is incomplete.
+func (t *hostCapTransport) refusedAny(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.refused[host]
+}
+
+func (t *hostCapTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.Lock()
+	over := t.n[host] >= t.cap
+	if !over {
+		t.n[host]++
+	} else {
+		t.refused[host] = true
+	}
+	t.mu.Unlock()
+	if over {
+		return &http.Response{
+			Status:     "429 Too Many Requests",
+			StatusCode: http.StatusTooManyRequests,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader("per-host refresh cap reached")),
+			Request:    req,
+		}, nil
+	}
+	return t.rt.RoundTrip(req)
 }

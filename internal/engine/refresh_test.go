@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"net/http"
@@ -44,7 +45,7 @@ func freshEngine(t *testing.T, shards int) *Engine {
 	if e.IndexSurfaceWeb() == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
-	if err := e.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -68,7 +69,7 @@ func urlScores(t *testing.T, ix *index.Index, q string) map[string]uint64 {
 //
 // Tier 1 (uncompacted): after churning N sites and Refreshing, the
 // live corpus — URL set, per-URL score bits, live doc count, per-host
-// results/stats/coverage — is identical to a from-scratch SurfaceAll
+// results/stats/coverage — is identical to a from-scratch Surface
 // of the churned world. Doc ids differ (the refreshed index appended
 // re-surfaced documents after tombstones), so results are compared by
 // URL.
@@ -87,7 +88,7 @@ func TestRefreshMatchesFromScratch(t *testing.T) {
 		refreshed := freshEngine(t, shards)
 		refreshed.CompactRatio = 0 // keep tombstones; tier 3 compacts explicitly
 		churned := churnSubset(refreshed.Web, 99)
-		st, err := refreshed.Refresh(core.DefaultConfig(), 3, nil)
+		st, err := refreshed.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 		if err != nil {
 			t.Fatalf("shards=%d: refresh: %v", shards, err)
 		}
@@ -115,7 +116,7 @@ func TestRefreshMatchesFromScratch(t *testing.T) {
 		if scratch.IndexSurfaceWeb() == 0 {
 			t.Fatal("surface-web crawl indexed nothing")
 		}
-		if err := scratch.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+		if err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			t.Fatal(err)
 		}
 
@@ -226,7 +227,7 @@ func TestLoadWithRefreshAgainstSnapshot(t *testing.T) {
 	}
 	e.Workers = 4
 	e.CompactRatio = 0
-	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	st, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestLoadWithRefreshAgainstSnapshot(t *testing.T) {
 	scratch.Workers = 4
 	churnSubset(scratch.Web, 4242)
 	scratch.IndexSurfaceWeb()
-	if err := scratch.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -260,7 +261,7 @@ func TestLoadWithRefreshAgainstSnapshot(t *testing.T) {
 func TestRefreshUnchangedWorldNoOp(t *testing.T) {
 	e := freshEngine(t, 4)
 	docs := e.Index.Len()
-	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	st, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestRefreshHostFilter(t *testing.T) {
 	e.CompactRatio = 0
 	churnSubset(e.Web, 7) // churns sites 0, 3, 6 … by host order
 	hosts := []string{e.Web.Sites()[0].Spec.Host}
-	st, err := e.Refresh(core.DefaultConfig(), 3, hosts)
+	st, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3, Hosts: hosts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestRefreshFailureThenRetryConverges(t *testing.T) {
 
 	// Poison the churned host so its re-surfacing fails mid-refresh.
 	e.Web.AddHandler(host, http.RedirectHandler("http://"+host+"/", http.StatusFound))
-	if _, err := e.Refresh(core.DefaultConfig(), 3, nil); err == nil {
+	if _, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3}); err == nil {
 		t.Fatal("refresh of a redirect-looping site succeeded")
 	}
 	// Surface-web pages of the failed site must still be live.
@@ -315,7 +316,7 @@ func TestRefreshFailureThenRetryConverges(t *testing.T) {
 	// Fault clears; the retry re-surfaces the site (its signature is
 	// still unrecorded) and swaps the surface pages.
 	e.Web.AddHandler(host, site)
-	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	st, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestRefreshFailureThenRetryConverges(t *testing.T) {
 	scratch.Workers = 4
 	webgen.ChurnSite(scratch.Web.Sites()[0], 6, rand.New(rand.NewSource(55)))
 	scratch.IndexSurfaceWeb()
-	if err := scratch.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	e.Compact()
@@ -350,7 +351,7 @@ func TestRefreshAutoCompacts(t *testing.T) {
 	e := freshEngine(t, 4)
 	e.CompactRatio = 0.01 // any churn at all triggers compaction
 	churnSubset(e.Web, 99)
-	st, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	st, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestRefreshAutoCompacts(t *testing.T) {
 	}
 	// The renumbered engine must still refresh correctly.
 	churnSubset(e.Web, 100)
-	st2, err := e.Refresh(core.DefaultConfig(), 3, nil)
+	st2, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"deepweb/internal/index"
+)
+
+// Serving-side API: one request/response pair every consumer of ranked
+// retrieval — binaries, the /v1 HTTP layer, experiments — goes
+// through, instead of each caller hand-rolling positional Index calls
+// and its own JSON dialect. Ranking is exactly the index's: for the
+// zero options (Offset 0, no Host, Annotated false) the result slice
+// is bit-identical to index.Search — same ids, same float score bits,
+// same tie order.
+
+// SearchRequest is one ranked retrieval over the engine's index.
+type SearchRequest struct {
+	// Query is the free-text query.
+	Query string
+	// K is the page size. K <= 0 returns an empty response, matching
+	// index.Search; HTTP layers apply their own defaults first.
+	K int
+	// Offset skips that many ranked hits before the page starts.
+	Offset int
+	// Annotated ranks with the §5.1 surfacing-time annotations
+	// (index.AnnotatedSearch semantics) instead of plain BM25.
+	Annotated bool
+	// Host restricts hits to documents on one host ("" = all). The
+	// total reflects the restriction.
+	Host string
+}
+
+// SearchResponse carries the page plus the serving metadata every
+// caller was previously recomputing for itself.
+type SearchResponse struct {
+	// Results is the ranked page [Offset, Offset+K).
+	Results []index.Result
+	// Total is how many live documents matched the query (after the
+	// Host restriction), independent of pagination.
+	Total int
+	// Elapsed is the retrieval wall-clock.
+	Elapsed time.Duration
+	// Generation is the engine's snapshot generation id (0 = built
+	// live, never snapshot).
+	Generation uint32
+}
+
+// Search answers req against the engine's index. The context cancels
+// scoring between query terms; a canceled search returns ctx.Err().
+func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var keep func(index.Doc) bool
+	if req.Host != "" {
+		keep = func(d index.Doc) bool { return urlOnHost(d.URL, req.Host) }
+	}
+	var (
+		hits  []index.Result
+		total int
+		err   error
+	)
+	if req.Annotated {
+		hits, total, err = e.Index.AnnotatedTopK(ctx, req.Query, req.K, req.Offset, keep)
+	} else {
+		hits, total, err = e.Index.TopK(ctx, req.Query, req.K, req.Offset, keep)
+	}
+	if err != nil {
+		return SearchResponse{}, fmt.Errorf("engine: search: %w", err)
+	}
+	return SearchResponse{
+		Results:    hits,
+		Total:      total,
+		Elapsed:    time.Since(start),
+		Generation: e.Generation,
+	}, nil
+}
+
+// urlOnHost reports whether rawURL's authority equals host, without
+// allocating: the filter runs once per matched document per query,
+// under the index read lock, so url.Parse is off the table.
+func urlOnHost(rawURL, host string) bool {
+	i := strings.Index(rawURL, "://")
+	if i < 0 {
+		return false
+	}
+	rest := rawURL[i+3:]
+	if !strings.HasPrefix(rest, host) {
+		return false
+	}
+	if len(rest) == len(host) {
+		return true
+	}
+	switch rest[len(host)] {
+	case '/', '?', '#':
+		return true
+	}
+	return false
+}

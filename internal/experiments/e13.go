@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,12 +44,12 @@ func E13LostSemantics(seed int64, rows int) (E13Report, error) {
 	web.AddSite(site)
 	fetch := webxpkg.NewFetcher(web)
 	s := core.NewSurfacer(fetch, core.DefaultConfig())
-	res, err := s.SurfaceSite(site.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 	if err != nil {
 		return rep, err
 	}
 	ix := index.New()
-	core.IngestURLs(fetch, ix, res.Analysis.Form.ID, res.URLs, 5)
+	core.IngestURLs(context.Background(), fetch, ix, res.Analysis.Form.ID, res.URLs, 5)
 
 	// Build queries from decoy rows: the decoy page contains the
 	// referenced make+model (in text) plus the decoy row's year.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -42,7 +43,7 @@ func E14Extraction(seed int64, rows int) (E14Report, error) {
 	web.AddSite(site)
 	fetch := webxpkg.NewFetcher(web)
 	s := core.NewSurfacer(fetch, core.DefaultConfig())
-	res, err := s.SurfaceSite(site.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 	if err != nil {
 		return rep, err
 	}

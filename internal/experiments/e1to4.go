@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"deepweb/internal/core"
@@ -84,7 +85,7 @@ func E2SiteLoad(seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
 		return E2Report{}, err
 	}
 	w.IndexSurfaceWeb()
-	if err := w.SurfaceAll(core.DefaultConfig(), 3); err != nil {
+	if err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		return E2Report{}, err
 	}
 	var rep E2Report
@@ -155,7 +156,7 @@ func E3Fortuitous(seed int64, rows int) (E3Report, error) {
 		return E3Report{}, err
 	}
 	w.IndexSurfaceWeb()
-	if err := w.SurfaceAll(core.DefaultConfig(), 5); err != nil {
+	if err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 		return E3Report{}, err
 	}
 	m := virtual.NewMediator(w.Fetch)
@@ -269,7 +270,7 @@ func E4URLScaling(seed int64, rowSizes []int) (E4Report, error) {
 			cfg.ProbeBudget = 2500
 			cfg.URLBudget = 20000
 			s := core.NewSurfacer(webxpkg.NewFetcher(web), cfg)
-			res, err := s.SurfaceSite(site.HomeURL())
+			res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 			if err != nil {
 				return rep, err
 			}

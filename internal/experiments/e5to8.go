@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/url"
@@ -95,7 +96,7 @@ func E5TypedInputs(seed int64, populationForms, rows int) (E5Report, error) {
 	fetch := webxpkg.NewFetcher(web)
 	for _, site := range web.Sites() {
 		s := core.NewSurfacer(fetch, core.DefaultConfig())
-		res, err := s.SurfaceSite(site.HomeURL())
+		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 		if err != nil || res.Analysis.Form == nil {
 			continue
 		}
@@ -198,7 +199,7 @@ func E6Probing(seed int64, rows int, budgets []int) (E6Report, error) {
 		cfg := core.DefaultConfig()
 		cfg.ProbeBudget = budget
 		cfg.MaxValuesPerInput = budget // let the sweep see all finds
-		iterKWs := core.ProbeKeywords(fetch, f, "q", seeds, cfg)
+		iterKWs := core.ProbeKeywords(context.Background(), fetch, f, "q", seeds, cfg)
 
 		var dictKWs []string
 		for i, w := range dict {
@@ -299,7 +300,7 @@ func E7Ranges(seed int64, rows int) (E7Report, error) {
 		}
 		web.AddSite(site)
 		s := core.NewSurfacer(webxpkg.NewFetcher(web), cfg)
-		res, err := s.SurfaceSite(site.HomeURL())
+		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -390,7 +391,7 @@ func E8DBSelection(seed int64, rows int) (E8Report, error) {
 		}
 		web.AddSite(site)
 		s := core.NewSurfacer(webxpkg.NewFetcher(web), cfg)
-		res, err := s.SurfaceSite(site.HomeURL())
+		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -52,13 +53,13 @@ func E9Indexability(seed int64, rows int) (E9Report, error) {
 	cfg := core.DefaultConfig()
 	cfg.Indexability = false
 	s := core.NewSurfacer(fetch, cfg)
-	res, err := s.SurfaceSite(site.HomeURL())
+	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 	if err != nil {
 		return rep, err
 	}
 	measure := func(filt core.IngestFilter) (int, int, float64, float64) {
 		ix := index.New()
-		st := core.IngestURLsFiltered(fetch, ix, "f", res.URLs, 0, filt)
+		st := core.IngestURLsFiltered(context.Background(), fetch, ix, "f", res.URLs, 0, filt)
 		covered := map[int]bool{}
 		var sizes []float64
 		for _, u := range res.URLs {
@@ -123,7 +124,7 @@ func E10Coverage(seed int64, sizes []int) (E10Report, error) {
 		}
 		web.AddSite(site)
 		s := core.NewSurfacer(webxpkg.NewFetcher(web), core.DefaultConfig())
-		res, err := s.SurfaceSite(site.HomeURL())
+		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
 		if err != nil {
 			return rep, err
 		}
@@ -290,7 +291,7 @@ func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, err
 	if err != nil {
 		return rep, err
 	}
-	if err := w.SurfaceAll(core.DefaultConfig(), 0); err != nil {
+	if err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 		return rep, err
 	}
 	m := virtual.NewMediator(w.Fetch)

@@ -2,10 +2,14 @@ package httpx
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -60,5 +64,71 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after context cancel")
+	}
+}
+
+// WriteJSON must surface encoder failures as a 500 envelope and return
+// the error — not swallow it behind a truncated 200.
+func TestWriteJSONReportsEncodeErrors(t *testing.T) {
+	rec := httptest.NewRecorder()
+	err := WriteJSON(rec, http.StatusOK, math.NaN()) // json.UnsupportedValueError
+	if err == nil {
+		t.Fatal("WriteJSON returned nil for an unencodable value")
+	}
+	if rec.Code != 500 {
+		t.Errorf("status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"code":"internal"`) ||
+		!strings.Contains(rec.Body.String(), "encoding response") {
+		t.Errorf("body %q is not the error envelope", rec.Body.String())
+	}
+
+	// The happy path: JSON body, JSON content type, chosen status, nil error.
+	rec = httptest.NewRecorder()
+	if err := WriteJSON(rec, http.StatusCreated, map[string]int{"n": 1}); err != nil {
+		t.Fatalf("WriteJSON(valid) = %v", err)
+	}
+	if rec.Code != http.StatusCreated || rec.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("status %d content-type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["n"] != 1 {
+		t.Errorf("round-trip failed: %v %v", out, err)
+	}
+}
+
+// The envelope is exactly {"error":{"code":...,"message":...}}.
+func TestWriteErrorEnvelopeShape(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusNotFound, CodeNotFound, "no such endpoint")
+	if rec.Code != 404 {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+	var env map[string]map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("bad envelope JSON: %v", err)
+	}
+	e := env["error"]
+	if e["code"] != CodeNotFound || e["message"] != "no such endpoint" || len(env) != 1 || len(e) != 2 {
+		t.Errorf("envelope = %v", env)
+	}
+}
+
+func TestRequireMethod(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/search", nil)
+	if RequireMethod(rec, req, http.MethodGet) {
+		t.Fatal("POST passed a GET gate")
+	}
+	if rec.Code != 405 || rec.Header().Get("Allow") != "GET" {
+		t.Errorf("status %d Allow %q", rec.Code, rec.Header().Get("Allow"))
+	}
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/v1/search", nil)
+	if !RequireMethod(rec, req, http.MethodGet) {
+		t.Fatal("GET failed its own gate")
+	}
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("passing gate wrote a response: %d %q", rec.Code, rec.Body.String())
 	}
 }

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"context"
+	"sort"
 	"strings"
 	"sync"
 
@@ -120,6 +122,13 @@ const (
 	annDemote = 0.10
 )
 
+// rerankDepth is how deep into the base BM25 ranking annotation
+// adjustments reach. Documents ranked deeper keep their plain BM25
+// order — the usual re-rank-depth trade: bounded per-query cost and a
+// canonical ordering (so pagination tiles exactly), at the price of a
+// boost never lifting a document from beyond the depth.
+const rerankDepth = 200
+
 // AnnotatedSearch is Search plus §5.1 annotation exploitation. For
 // every attribute whose value vocabulary intersects the query, a
 // document annotated with a *different* value of that attribute is
@@ -127,40 +136,96 @@ const (
 // Unannotated documents are untouched, so the method degrades to plain
 // BM25 when no annotations exist.
 func (ix *Index) AnnotatedSearch(query string, k int) []Result {
+	hits, _, _ := ix.annotatedTopK(nil, query, k, 0, nil)
+	return hits
+}
+
+// AnnotatedTopK is to AnnotatedSearch what TopK is to Search:
+// pagination, an optional admission filter, the total live hit count
+// and cancellation, with the same annotation-adjusted ranking. Pages
+// tile exactly: every request slices the same canonical ordering (the
+// base top-rerankDepth re-ranked once, plain BM25 order beyond it).
+// The total counts every live document the query matched (after the
+// filter), not just the re-ranked prefix.
+func (ix *Index) AnnotatedTopK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+	return ix.annotatedTopK(ctx, query, k, offset, keep)
+}
+
+func (ix *Index) annotatedTopK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
 	if k <= 0 {
-		return nil
+		return nil, 0, ctxErr(ctx)
 	}
-	// Over-fetch so demotions cannot empty the cut.
-	base := ix.Search(query, k*5+10)
-	if len(base) == 0 {
-		return base
+	if offset < 0 {
+		offset = 0
 	}
 	st := ix.annotations()
+	queryValues := st.valuesMentioned(query)
+	if len(queryValues) == 0 {
+		// No annotation vocabulary intersects the query: degrade to the
+		// plain BM25 page, with no over-fetch at all.
+		return ix.topK(ctx, query, k, offset, keep)
+	}
+
+	// Re-ranking must page against one canonical adjusted ordering — a
+	// pure function of (query, corpus) — or pages would not tile: a
+	// window that varies with the request re-ranks each page against a
+	// different candidate list, repeating or dropping boosted docs
+	// across pages. The canonical ordering is the standard re-rank-
+	// depth construction: the base top-rerankDepth is adjusted and
+	// re-sorted once, everything deeper keeps its base (plain BM25)
+	// order. Every page, whatever its k and offset, is a slice of that
+	// one ordering, and the cost is bounded by the depth, not by the
+	// hit count.
+	const maxInt = int(^uint(0) >> 1)
+	need := k + offset
+	if need < k {
+		need = maxInt
+	}
+	fetch := need
+	if fetch < rerankDepth {
+		fetch = rerankDepth
+	}
+	base, total, err := ix.topK(ctx, query, fetch, 0, keep)
+	if err != nil || len(base) == 0 {
+		return base, total, err
+	}
+	head := base
+	if len(head) > rerankDepth {
+		head = head[:rerankDepth]
+	}
+	st.adjust(head, queryValues)
+	sortResults(head)
+	return pageOf(base, k, offset), total, nil
+}
+
+// valuesMentioned returns, per annotation attribute, the longest
+// attribute value the query mentions (multi-word values like "santa
+// fe" beat their substrings); empty when the query touches no
+// annotation vocabulary.
+func (st *annStore) valuesMentioned(query string) map[string]string {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-
 	q := " " + strings.Join(textutil.Tokenize(query), " ") + " "
-	// queryValues[attr] = the value of attr the query mentions, if any.
 	queryValues := map[string]string{}
 	for attr, values := range st.vocab {
 		for v := range values {
 			if strings.Contains(q, " "+v+" ") {
-				// Prefer the longest mentioned value (multi-word values
-				// like "santa fe" beat their substrings).
 				if len(v) > len(queryValues[attr]) {
 					queryValues[attr] = v
 				}
 			}
 		}
 	}
-	if len(queryValues) == 0 {
-		if k < len(base) {
-			base = base[:k]
-		}
-		return base
-	}
-	for i := range base {
-		anns := st.anns[base[i].DocID]
+	return queryValues
+}
+
+// adjust applies the §5.1 boost/demote factors to a ranked page in
+// place.
+func (st *annStore) adjust(rs []Result, queryValues map[string]string) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for i := range rs {
+		anns := st.anns[rs[i].DocID]
 		if anns == nil {
 			continue
 		}
@@ -170,30 +235,36 @@ func (ix *Index) AnnotatedSearch(query string, k int) []Result {
 				continue
 			}
 			if have == want {
-				base[i].Score *= annBoost
+				rs[i].Score *= annBoost
 			} else {
-				base[i].Score *= annDemote
+				rs[i].Score *= annDemote
 			}
 		}
 	}
-	// Stable re-rank by adjusted score.
-	sortResults(base)
-	if k < len(base) {
-		base = base[:k]
+}
+
+// pageOf cuts the k-sized page at offset out of a ranked slice.
+func pageOf(rs []Result, k, offset int) []Result {
+	if offset > 0 {
+		if offset >= len(rs) {
+			return nil
+		}
+		rs = rs[offset:]
 	}
-	return base
+	if k < len(rs) {
+		rs = rs[:k]
+	}
+	return rs
 }
 
 func sortResults(rs []Result) {
-	// insertion sort is fine at the over-fetch sizes involved and keeps
-	// the tie-break (doc id) stable.
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0; j-- {
-			if rs[j-1].Score > rs[j].Score ||
-				(rs[j-1].Score == rs[j].Score && rs[j-1].DocID < rs[j].DocID) {
-				break
-			}
-			rs[j-1], rs[j] = rs[j], rs[j-1]
+	// The key (score desc, doc id asc) is total — no two entries share
+	// a doc id — so an unstable sort is deterministic here, and O(n
+	// log n) keeps full-hit-set re-ranking cheap.
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
 		}
-	}
+		return rs[i].DocID < rs[j].DocID
+	})
 }

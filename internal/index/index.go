@@ -25,6 +25,7 @@
 package index
 
 import (
+	"context"
 	"hash/maphash"
 	"math"
 	"sync"
@@ -395,15 +396,57 @@ var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 // results are deterministic. Tombstoned documents neither match nor
 // influence scoring: N, avgdl and df all describe the live corpus.
 func (ix *Index) Search(query string, k int) []Result {
-	if k <= 0 {
+	hits, _, _ := ix.topK(nil, query, k, 0, nil)
+	return hits
+}
+
+// TopK is the serving-layer generalization of Search: the same scoring
+// path plus pagination (skip offset hits), an optional per-document
+// admission filter, the total live hit count, and cooperative
+// cancellation between query terms. With keep == nil and offset == 0
+// the result slice is bit-identical to Search(query, k) — same ids,
+// same float score bits, same tie order — with the hit total riding
+// along. A canceled context returns ctx.Err() with no results.
+func (ix *Index) TopK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+	return ix.topK(ctx, query, k, offset, keep)
+}
+
+// ctxErr is the nil-tolerant cancellation probe: internal callers on
+// the legacy always-complete paths pass a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
 		return nil
+	}
+	return ctx.Err()
+}
+
+// abandonSearch is the cold bail-out of a canceled query: the pooled
+// accumulator must go back clean, so the touched entries are zeroed
+// before the scratch is released. Split out of topK to keep the hot
+// scoring loop small.
+func abandonSearch(sc *searchScratch, scores []float64, touched []int32, err error) error {
+	for _, d := range touched {
+		scores[d] = 0
+	}
+	sc.touched = touched[:0]
+	return err
+}
+
+// topK is the one scoring implementation behind Search, TopK and the
+// annotated variants.
+func (ix *Index) topK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+	if k <= 0 {
+		return nil, 0, ctxErr(ctx)
+	}
+	if offset < 0 {
+		offset = 0
 	}
 	sc := searchPool.Get().(*searchScratch)
 	defer searchPool.Put(sc)
 	qterms := sc.tz.StemmedTokensInto(sc.qterms[:0], query)
 	sc.qterms = qterms[:0]
 	if len(qterms) == 0 {
-		return nil
+		return nil, 0, ctxErr(ctx)
 	}
 
 	ix.mu.RLock()
@@ -411,7 +454,7 @@ func (ix *Index) Search(query string, k int) []Result {
 	tableN := len(ix.docs)
 	live := tableN - ix.numDead
 	if live == 0 {
-		return nil
+		return nil, 0, ctxErr(ctx)
 	}
 	// Every BM25 statistic reads the *live* corpus — document count,
 	// average length, per-term document frequency — so scores after a
@@ -436,7 +479,16 @@ func (ix *Index) Search(query string, k int) []Result {
 	c0 := bm25K1 * (1 - bm25B)
 	c1 := bm25K1 * bm25B / avgdl
 	dead, hasDead := ix.dead, ix.numDead > 0
+	cancelable := ctx != nil
 	for qi, t := range qterms {
+		// Cancellation point: once per query term, so a canceled search
+		// stops scoring within one posting-list scan. The legacy paths
+		// pass a nil context and skip the check entirely.
+		if cancelable {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, abandonSearch(sc, scores, touched, err)
+			}
+		}
 		dup := false
 		for _, prev := range qterms[:qi] {
 			if prev == t {
@@ -488,17 +540,46 @@ func (ix *Index) Search(query string, k int) []Result {
 	}
 	sc.touched = touched
 
-	// Bounded top-k selection; the heap root is the weakest kept hit.
+	// Bounded top-(offset+k) selection; the heap root is the weakest
+	// kept hit. The filter admits documents here — after scoring, before
+	// selection — so pagination and the hit total both describe the
+	// filtered result set. The unfiltered loop is kept branch-free (the
+	// overwhelmingly common serving path): its total is just the
+	// touched count.
+	kk := k + offset
+	if kk < k { // offset overflowed int
+		kk = int(^uint(0) >> 1)
+	}
+	var total int
 	h := sc.heap[:0]
-	for _, d := range touched {
-		s := scores[d]
-		scores[d] = 0 // reset while draining: accumulator is clean for reuse
-		if len(h) < k {
-			h = append(h, heapEntry{score: s, doc: d})
-			siftUp(h)
-		} else if beats(s, d, h[0]) {
-			h[0] = heapEntry{score: s, doc: d}
-			siftDown(h)
+	if keep == nil {
+		total = len(touched)
+		for _, d := range touched {
+			s := scores[d]
+			scores[d] = 0 // reset while draining: accumulator is clean for reuse
+			if len(h) < kk {
+				h = append(h, heapEntry{score: s, doc: d})
+				siftUp(h)
+			} else if beats(s, d, h[0]) {
+				h[0] = heapEntry{score: s, doc: d}
+				siftDown(h)
+			}
+		}
+	} else {
+		for _, d := range touched {
+			s := scores[d]
+			scores[d] = 0
+			if !keep(ix.docs[d]) {
+				continue
+			}
+			total++
+			if len(h) < kk {
+				h = append(h, heapEntry{score: s, doc: d})
+				siftUp(h)
+			} else if beats(s, d, h[0]) {
+				h[0] = heapEntry{score: s, doc: d}
+				siftDown(h)
+			}
 		}
 	}
 	sc.heap = h[:0]
@@ -512,7 +593,7 @@ func (ix *Index) Search(query string, k int) []Result {
 		doc := ix.docs[e.doc]
 		out[m-1] = Result{DocID: int(e.doc), URL: doc.URL, Title: doc.Title, Source: doc.Source, Score: e.score}
 	}
-	return out
+	return pageOf(out, k, offset), total, nil
 }
 
 // beats reports whether a hit with the given score and doc id ranks

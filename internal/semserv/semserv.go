@@ -3,15 +3,21 @@
 // schema auto-complete, attribute values, and entity properties — for
 // use by schema matchers, form fillers, information extractors and
 // query expanders.
+//
+// Every handler speaks the shared wire discipline of internal/httpx:
+// GET only (anything else is 405 with the JSON error envelope),
+// envelope-shaped errors, buffered JSON writes. The handlers are
+// exported so the versioned /v1 layer (internal/api) can mount them
+// under its own paths; the Server's own mux keeps the legacy flat
+// paths (/synonyms, …) serving the same bytes.
 package semserv
 
 import (
-	"bytes"
-	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
 
+	"deepweb/internal/httpx"
 	"deepweb/internal/webtables"
 )
 
@@ -21,6 +27,7 @@ import (
 //	GET /autocomplete?attrs=make,model&k=5
 //	GET /values?attr=city&k=10
 //	GET /properties?entity=seattle&k=10
+//	GET /tablesearch?q=population&k=5
 type Server struct {
 	ACS    *webtables.ACSDb
 	Values *webtables.ValueStore
@@ -31,11 +38,11 @@ type Server struct {
 // New assembles a server over the aggregate structures.
 func New(acs *webtables.ACSDb, vals *webtables.ValueStore, tables []webtables.RawTable) *Server {
 	s := &Server{ACS: acs, Values: vals, Tables: tables, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/synonyms", s.handleSynonyms)
-	s.mux.HandleFunc("/autocomplete", s.handleAutocomplete)
-	s.mux.HandleFunc("/values", s.handleValues)
-	s.mux.HandleFunc("/properties", s.handleProperties)
-	s.mux.HandleFunc("/tablesearch", s.handleTableSearch)
+	s.mux.HandleFunc("/synonyms", s.Synonyms)
+	s.mux.HandleFunc("/autocomplete", s.Autocomplete)
+	s.mux.HandleFunc("/values", s.AttrValues)
+	s.mux.HandleFunc("/properties", s.Properties)
+	s.mux.HandleFunc("/tablesearch", s.TableSearch)
 	return s
 }
 
@@ -57,21 +64,6 @@ func kParam(r *http.Request) int {
 	return min(k, MaxK)
 }
 
-// writeJSON encodes v into a buffer first so an encoding failure (an
-// unmarshalable score such as NaN, for instance) can still become a 500
-// instead of a silently truncated 200, and reports the error to the
-// caller.
-func writeJSON(w http.ResponseWriter, v any) error {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(v); err != nil {
-		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
-		return err
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, err := w.Write(buf.Bytes())
-	return err
-}
-
 // ScoredItem is one JSON response entry.
 type ScoredItem struct {
 	Name  string  `json:"name"`
@@ -86,48 +78,64 @@ func toItems(xs []webtables.Scored) []ScoredItem {
 	return out
 }
 
-func (s *Server) handleSynonyms(w http.ResponseWriter, r *http.Request) {
-	attr := r.URL.Query().Get("attr")
-	if attr == "" {
-		http.Error(w, "missing attr", http.StatusBadRequest)
+// Synonyms answers GET ?attr=X&k=N with the attribute's synonyms.
+func (s *Server) Synonyms(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, toItems(s.ACS.Synonyms(attr, kParam(r))))
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest, "missing attr")
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, toItems(s.ACS.Synonyms(attr, kParam(r))))
 }
 
-func (s *Server) handleAutocomplete(w http.ResponseWriter, r *http.Request) {
+// Autocomplete answers GET ?attrs=a,b&k=N with schema completions.
+func (s *Server) Autocomplete(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	raw := r.URL.Query().Get("attrs")
 	if raw == "" {
-		http.Error(w, "missing attrs", http.StatusBadRequest)
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest, "missing attrs")
 		return
 	}
 	attrs := strings.Split(raw, ",")
-	writeJSON(w, toItems(s.ACS.SchemaAutocomplete(attrs, kParam(r))))
+	httpx.WriteJSON(w, http.StatusOK, toItems(s.ACS.SchemaAutocomplete(attrs, kParam(r))))
 }
 
-func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+// AttrValues answers GET ?attr=X&k=N with the attribute's value list.
+func (s *Server) AttrValues(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	attr := r.URL.Query().Get("attr")
 	if attr == "" {
-		http.Error(w, "missing attr", http.StatusBadRequest)
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest, "missing attr")
 		return
 	}
 	vals := s.Values.Values(attr, kParam(r))
 	if vals == nil {
 		vals = []string{}
 	}
-	writeJSON(w, vals)
+	httpx.WriteJSON(w, http.StatusOK, vals)
 }
 
-func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
-	entity := r.URL.Query().Get("entity")
-	if entity == "" {
-		http.Error(w, "missing entity", http.StatusBadRequest)
+// Properties answers GET ?entity=X&k=N with the entity's properties.
+func (s *Server) Properties(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, toItems(webtables.PropertiesOf(s.Tables, entity, kParam(r))))
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest, "missing entity")
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, toItems(webtables.PropertiesOf(s.Tables, entity, kParam(r))))
 }
 
-// tableHitJSON is the /tablesearch response entry: enough of the table
+// tableHitJSON is the table-search response entry: enough of the table
 // to judge relevance, plus provenance.
 type tableHitJSON struct {
 	URL     string   `json:"url"`
@@ -136,10 +144,14 @@ type tableHitJSON struct {
 	Score   float64  `json:"score"`
 }
 
-func (s *Server) handleTableSearch(w http.ResponseWriter, r *http.Request) {
+// TableSearch answers GET ?q=X&k=N with ranked relational tables.
+func (s *Server) TableSearch(w http.ResponseWriter, r *http.Request) {
+	if !httpx.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		http.Error(w, "missing q", http.StatusBadRequest)
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest, "missing q")
 		return
 	}
 	hits := webtables.SearchTables(s.Tables, q, kParam(r))
@@ -152,5 +164,5 @@ func (s *Server) handleTableSearch(w http.ResponseWriter, r *http.Request) {
 			Score:   h.Score,
 		}
 	}
-	writeJSON(w, out)
+	httpx.WriteJSON(w, http.StatusOK, out)
 }

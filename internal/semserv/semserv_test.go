@@ -2,7 +2,7 @@ package semserv
 
 import (
 	"encoding/json"
-	"math"
+
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -159,34 +159,57 @@ func TestTableSearchEndpoint(t *testing.T) {
 	}
 }
 
-// writeJSON must surface encoder failures as a 500 with an error body
-// and return the error — not swallow it behind a truncated 200.
-func TestWriteJSONReportsEncodeErrors(t *testing.T) {
-	rec := httptest.NewRecorder()
-	err := writeJSON(rec, math.NaN()) // json.UnsupportedValueError
-	if err == nil {
-		t.Fatal("writeJSON returned nil for an unencodable value")
+// Every handler must reject non-GET verbs with 405, an Allow header
+// and the shared error envelope — previously a POST to any endpoint
+// answered 200 as if it were a GET.
+func TestNonGETRejectedWithEnvelope(t *testing.T) {
+	s := testServer()
+	for _, path := range []string{
+		"/synonyms?attr=make",
+		"/autocomplete?attrs=make",
+		"/values?attr=city",
+		"/properties?entity=seattle",
+		"/tablesearch?q=population",
+	} {
+		for _, method := range []string{"POST", "PUT", "DELETE"} {
+			req := httptest.NewRequest(method, path, nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != 405 {
+				t.Errorf("%s %s: status %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != "GET" {
+				t.Errorf("%s %s: Allow %q, want GET", method, path, allow)
+			}
+			var env struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("%s %s: body %q is not the JSON envelope: %v", method, path, rec.Body.String(), err)
+			}
+			if env.Error.Code != "method_not_allowed" || env.Error.Message == "" {
+				t.Errorf("%s %s: envelope %+v", method, path, env)
+			}
+		}
 	}
-	if rec.Code != 500 {
-		t.Errorf("status %d, want 500", rec.Code)
-	}
-	if !strings.Contains(rec.Body.String(), "encoding response") {
-		t.Errorf("body %q does not report the encode error", rec.Body.String())
-	}
-	if ct := rec.Header().Get("Content-Type"); strings.Contains(ct, "application/json") {
-		t.Errorf("error response mislabeled as JSON: %q", ct)
-	}
+}
 
-	// The happy path is unchanged: JSON body, JSON content type, nil error.
-	rec = httptest.NewRecorder()
-	if err := writeJSON(rec, []ScoredItem{{Name: "make", Score: 1}}); err != nil {
-		t.Fatalf("writeJSON(valid) = %v", err)
+// Errors come out as the shared envelope, not bare text.
+func TestBadRequestUsesEnvelope(t *testing.T) {
+	s := testServer()
+	req := httptest.NewRequest("GET", "/synonyms", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("status %d, want 400", rec.Code)
 	}
-	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
-		t.Errorf("status %d content-type %q", rec.Code, rec.Header().Get("Content-Type"))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
 	}
-	var items []ScoredItem
-	if err := json.Unmarshal(rec.Body.Bytes(), &items); err != nil || len(items) != 1 {
-		t.Errorf("round-trip failed: %v %v", items, err)
+	if !strings.Contains(rec.Body.String(), `"code":"bad_request"`) {
+		t.Errorf("body %q lacks the envelope code", rec.Body.String())
 	}
 }
