@@ -2,7 +2,7 @@
 # check a PR will face is reproducible with one command before pushing.
 GO ?= go
 
-.PHONY: verify fmt vet build test bench fuzz lint examples
+.PHONY: verify fmt vet build test bench fuzz lint examples load
 
 # verify = the CI `test` job: gofmt, vet, build, race-enabled tests.
 verify: fmt vet build test
@@ -28,6 +28,13 @@ test:
 BENCH_COUNT ?= 1
 bench:
 	./scripts/bench-hotpath.sh $(BENCH_COUNT)
+
+# load = the CI load-smoke gate: a short Zipfian replay against an
+# in-process engine. Fails on any search error or a cold result cache,
+# and writes the BENCH_load.json artifact (see cmd/loadgen for the
+# HTTP mode that measures a live server instead).
+load:
+	$(GO) run ./cmd/loadgen -sites 1 -rows 120 -c 4 -duration 3s -min-hit-ratio 0.5 -out BENCH_load.json
 
 # examples = the CI examples-smoke job: every worked example must
 # build and run against the current API.

@@ -24,10 +24,16 @@
 // index serving. /v1/admin/stats (generation id + last-reload time) is
 // how an operator verifies the swap happened.
 //
+// Search responses are served through a generation-keyed result cache
+// (-cache N entries, 0 disables); X-Cache on each /v1/search response
+// says HIT or MISS, and /v1/admin/stats exposes the running counters.
+// -debugaddr mounts net/http/pprof on its own localhost listener for
+// profiling under load.
+//
 // Usage:
 //
 //	deepsearch [-addr :8080] [-sites N] [-rows N] [-seed N] [-workers N]
-//	deepsearch [-addr :8080] [-snapshot DIR]
+//	deepsearch [-addr :8080] [-snapshot DIR] [-cache 4096] [-debugaddr localhost:6060]
 package main
 
 import (
@@ -61,6 +67,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent surfacing workers")
 	annotated := flag.Bool("annotated", false, "rank the HTML page with §5.1 annotations (the /v1 API takes ?annotated=true per request)")
 	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + surfacing)")
+	cacheCap := flag.Int("cache", 4096, "result cache capacity in entries (0 disables caching)")
+	debugAddr := flag.String("debugaddr", "", "listen address for the pprof debug mux (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 	log.SetFlags(0)
 	// Fail bad sizes loudly at startup — a zero or negative world size
@@ -101,7 +109,9 @@ func main() {
 		}
 		log.Printf("phase surface: %v (%d workers)", time.Since(start).Round(time.Millisecond), *workers)
 	}
+	e.EnableResultCache(*cacheCap)
 	log.Printf("ready: %d documents indexed, startup %v", e.Index.Len(), time.Since(begin).Round(time.Microsecond))
+	httpx.ServeDebug(*debugAddr)
 
 	// Queries resolve the engine through an atomic pointer so a reload
 	// (SIGHUP or POST /v1/admin/reload) swaps snapshots without
@@ -120,6 +130,11 @@ func main() {
 				log.Printf("reload: %v (keeping current index)", err)
 				return err
 			}
+			// Arm the new engine's cache BEFORE publishing it: the swap
+			// must install engine and cache together, so no request ever
+			// sees the new index through the old engine's cache (the
+			// cache lives on the engine — one atomic store swaps both).
+			ne.EnableResultCache(*cacheCap)
 			current.Store(ne)
 			lastReload.Store(time.Now().UnixNano())
 			log.Printf("reload: %d docs (generation %d) from %s in %v",

@@ -1,0 +1,294 @@
+// Command loadgen replays a Zipfian query workload against the serving
+// tier and reports the latency distribution the hot path actually
+// delivers: p50/p95/p99/max, throughput, error rate and cache hit
+// ratio, as a human table on stdout and a JSON artifact for CI trend
+// lines. The workload is the traffic shape of §3.2 pointed at serving —
+// a seeded pool of vocabulary-derived queries (internal/workload)
+// drawn under Zipfian popularity, so the result cache sees a realistic
+// head-heavy mix rather than uniform cache-busting noise.
+//
+// Two modes:
+//
+//	loadgen -target http://localhost:8080   # live /v1 over HTTP
+//	loadgen -sites 1 -rows 300              # in-process engine, no network
+//
+// HTTP mode measures the full serving stack (handler, JSON encoding,
+// transport) and classifies hits by the X-Cache response header;
+// in-process mode isolates engine.Search and uses the response's own
+// Cached bit. Every worker owns a distinctly seeded sampler, so a run
+// is deterministic in its flags apart from wall-clock jitter.
+//
+// Exit status is the CI gate: non-zero if the error rate exceeds
+// -max-error-rate (default: any error fails) or the observed cache hit
+// ratio falls below -min-hit-ratio.
+//
+// Usage:
+//
+//	loadgen [-target URL | -sites N -rows N [-snapshot DIR]] \
+//	        [-c 8] [-duration 10s] [-zipf 1.1] [-pool 500] [-k 10] \
+//	        [-cache 4096] [-out BENCH_load.json] [-min-hit-ratio 0.5]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"deepweb/internal/cliutil"
+	"deepweb/internal/core"
+	"deepweb/internal/dist"
+	"deepweb/internal/engine"
+	"deepweb/internal/webgen"
+	"deepweb/internal/workload"
+)
+
+// Report is the JSON artifact one run writes (-out). Field names are a
+// contract: CI trend lines and the README table read them.
+type Report struct {
+	Mode        string  `json:"mode"` // "http" or "inprocess"
+	Target      string  `json:"target,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Zipf        float64 `json:"zipf"`
+	PoolSize    int     `json:"pool_size"`
+	K           int     `json:"k"`
+
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	QPS       float64 `json:"qps"`
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+}
+
+// workerResult is one worker's private tally, merged after the run so
+// the hot loop shares nothing.
+type workerResult struct {
+	latencies []float64 // milliseconds
+	errors    uint64
+	hits      uint64
+	misses    uint64
+}
+
+func main() {
+	target := flag.String("target", "", "base URL of a live server (e.g. http://localhost:8080); empty = in-process engine")
+	sites := flag.Int("sites", 1, "in-process mode: sites per domain")
+	rows := flag.Int("rows", 300, "in-process mode: rows per site")
+	seed := flag.Int64("seed", 42, "in-process mode: world seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "in-process mode: surfacing workers")
+	snapshot := flag.String("snapshot", "", "in-process mode: warm-start from a snapshot directory")
+	cacheCap := flag.Int("cache", 4096, "in-process mode: result cache capacity (0 disables)")
+
+	conc := flag.Int("c", 8, "concurrent load workers")
+	duration := flag.Duration("duration", 10*time.Second, "how long to fire queries")
+	zipf := flag.Float64("zipf", 1.1, "Zipf exponent of query popularity (0 = uniform)")
+	poolSize := flag.Int("pool", 500, "distinct queries in the pool")
+	k := flag.Int("k", 10, "page size per query")
+	qseed := flag.Int64("qseed", 1, "workload seed (query pool + per-worker samplers)")
+
+	out := flag.String("out", "BENCH_load.json", "JSON artifact path (\"\" disables)")
+	minHitRatio := flag.Float64("min-hit-ratio", 0, "exit non-zero if cache hit ratio falls below this")
+	maxErrorRate := flag.Float64("max-error-rate", 0, "exit non-zero if error rate exceeds this (default: any error fails)")
+	flag.Parse()
+	log.SetFlags(0)
+	cliutil.RequirePositive("loadgen",
+		cliutil.IntFlag{Name: "-c", Value: *conc},
+		cliutil.IntFlag{Name: "-pool", Value: *poolSize},
+		cliutil.IntFlag{Name: "-k", Value: *k},
+	)
+	if *zipf < 0 {
+		log.Fatal("loadgen: -zipf must be >= 0")
+	}
+
+	pool := workload.QueryPool(*qseed, *poolSize)
+
+	// fire issues one query and reports (latency, served-from-cache,
+	// error). Both modes implement it; everything downstream is shared.
+	var fire func(w int, sampler *workload.Sampler) (time.Duration, bool, error)
+	rep := Report{
+		Mode: "inprocess", Concurrency: *conc, DurationSec: duration.Seconds(),
+		Zipf: *zipf, PoolSize: *poolSize, K: *k,
+	}
+	if *target != "" {
+		rep.Mode, rep.Target = "http", *target
+		fire = httpFirer(*target, *k)
+	} else {
+		e := buildEngine(*snapshot, *seed, *sites, *rows, *workers, *cacheCap)
+		fire = func(_ int, sampler *workload.Sampler) (time.Duration, bool, error) {
+			start := time.Now()
+			resp, err := e.Search(context.Background(), engine.SearchRequest{Query: sampler.Next(), K: *k})
+			return time.Since(start), err == nil && resp.Cached, err
+		}
+	}
+
+	log.Printf("loadgen: %s mode, %d workers, %v, pool %d, zipf %.2f",
+		rep.Mode, *conc, *duration, *poolSize, *zipf)
+	results := make([]workerResult, *conc)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker sampler: an independent deterministic stream.
+			sampler := workload.NewSampler(*qseed+int64(w)+1, *zipf, pool)
+			res := &results[w]
+			for time.Now().Before(deadline) {
+				elapsed, cached, err := fire(w, sampler)
+				res.latencies = append(res.latencies, float64(elapsed)/float64(time.Millisecond))
+				if err != nil {
+					res.errors++
+					continue
+				}
+				if cached {
+					res.hits++
+				} else {
+					res.misses++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []float64
+	for i := range results {
+		all = append(all, results[i].latencies...)
+		rep.Errors += results[i].errors
+		rep.CacheHits += results[i].hits
+		rep.CacheMisses += results[i].misses
+	}
+	rep.Requests = uint64(len(all))
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	rep.QPS = float64(rep.Requests) / duration.Seconds()
+	rep.LatencyMS.P50 = dist.Percentile(all, 0.50)
+	rep.LatencyMS.P95 = dist.Percentile(all, 0.95)
+	rep.LatencyMS.P99 = dist.Percentile(all, 0.99)
+	rep.LatencyMS.Max = dist.Percentile(all, 1)
+	if served := rep.CacheHits + rep.CacheMisses; served > 0 {
+		rep.HitRatio = float64(rep.CacheHits) / float64(served)
+	}
+
+	fmt.Printf(`
+mode         %s %s
+requests     %d (%d errors, %.2f%% error rate)
+throughput   %.1f qps
+latency ms   p50 %.3f   p95 %.3f   p99 %.3f   max %.3f
+cache        %d hits / %d misses, hit ratio %.3f
+`, rep.Mode, rep.Target, rep.Requests, rep.Errors, rep.ErrorRate*100,
+		rep.QPS, rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max,
+		rep.CacheHits, rep.CacheMisses, rep.HitRatio)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	// CI gates.
+	if rep.Requests == 0 {
+		log.Fatal("loadgen: no requests completed")
+	}
+	if rep.ErrorRate > *maxErrorRate {
+		log.Fatalf("loadgen: error rate %.4f exceeds -max-error-rate %.4f", rep.ErrorRate, *maxErrorRate)
+	}
+	if rep.HitRatio < *minHitRatio {
+		log.Fatalf("loadgen: hit ratio %.3f below -min-hit-ratio %.3f", rep.HitRatio, *minHitRatio)
+	}
+}
+
+// httpFirer returns a fire function hitting target's /v1/search. Hits
+// are classified by the X-Cache response header; any non-200 (or
+// transport error) counts as an error.
+func httpFirer(target string, k int) func(int, *workload.Sampler) (time.Duration, bool, error) {
+	base, err := url.Parse(target)
+	if err != nil {
+		log.Fatalf("loadgen: -target: %v", err)
+	}
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+	kStr := strconv.Itoa(k)
+	return func(_ int, sampler *workload.Sampler) (time.Duration, bool, error) {
+		u := *base
+		u.Path = "/v1/search"
+		u.RawQuery = url.Values{"q": {sampler.Next()}, "k": {kStr}}.Encode()
+		start := time.Now()
+		resp, err := client.Get(u.String())
+		if err != nil {
+			return time.Since(start), false, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(start)
+		if resp.StatusCode != http.StatusOK {
+			return elapsed, false, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return elapsed, resp.Header.Get("X-Cache") == "HIT", nil
+	}
+}
+
+// buildEngine assembles the in-process engine exactly as deepsearch
+// does: warm-start from a snapshot, or build + index + surface a
+// synthetic world — then arm the result cache.
+func buildEngine(snapshot string, seed int64, sites, rows, workers, cacheCap int) *engine.Engine {
+	cliutil.RequirePositive("loadgen",
+		cliutil.IntFlag{Name: "-sites", Value: sites},
+		cliutil.IntFlag{Name: "-rows", Value: rows},
+		cliutil.IntFlag{Name: "-workers", Value: workers},
+	)
+	start := time.Now()
+	var e *engine.Engine
+	if snapshot != "" {
+		engine.DefaultWorkers = workers
+		var err error
+		e, err = engine.Load(snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		e, err = engine.Build(webgen.WorldConfig{Seed: seed, SitesPerDom: sites, RowsPerSite: rows})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.Workers = workers
+		e.IndexSurfaceWeb()
+		if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	e.EnableResultCache(cacheCap)
+	log.Printf("loadgen: engine ready, %d docs in %v (cache capacity %d)",
+		e.Index.Len(), time.Since(start).Round(time.Millisecond), cacheCap)
+	return e
+}

@@ -23,7 +23,7 @@
 // Usage:
 //
 //	semserver [-addr :8081] [-sites N] [-rows N] [-seed N]
-//	semserver [-addr :8081] [-snapshot DIR]
+//	semserver [-addr :8081] [-snapshot DIR] [-debugaddr localhost:6061]
 package main
 
 import (
@@ -46,6 +46,7 @@ func main() {
 	rows := flag.Int("rows", 150, "rows per site")
 	seed := flag.Int64("seed", 42, "world seed")
 	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + crawl)")
+	debugAddr := flag.String("debugaddr", "", "listen address for the pprof debug mux (e.g. localhost:6061; empty disables)")
 	flag.Parse()
 	log.SetFlags(0)
 	cliutil.RequirePositive("semserver",
@@ -78,6 +79,7 @@ func main() {
 		sem.PagesCrawled, sem.RawTables, len(sem.Tables), sem.ACS.Schemas, len(sem.ACS.Freq))
 	log.Printf("phase listen: serving on %s after %v startup", *addr, time.Since(begin).Round(time.Microsecond))
 
+	httpx.ServeDebug(*debugAddr)
 	legacy := sem.Server()
 	apiSrv := api.New(api.Options{Semantics: legacy})
 	mux := http.NewServeMux()

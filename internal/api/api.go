@@ -25,10 +25,12 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"deepweb/internal/engine"
 	"deepweb/internal/httpx"
+	"deepweb/internal/rescache"
 	"deepweb/internal/semserv"
 )
 
@@ -44,7 +46,11 @@ const (
 )
 
 // Stats is the /v1/admin/stats payload: what an operator needs to
-// verify a deployment is serving what they think it is.
+// verify a deployment is serving what they think it is. The counters
+// (Queries, InflightQueries, Cache) are maintained with atomics and
+// read with atomic loads, so no single value is ever torn under load;
+// the set is collected lock-free, so fields may be a few requests
+// apart from each other — fine for monitoring.
 type Stats struct {
 	// Docs is the live (searchable) document count.
 	Docs int `json:"docs"`
@@ -56,12 +62,30 @@ type Stats struct {
 	// built live). After a reload, a changed Generation is the proof
 	// the swap happened.
 	Generation uint32 `json:"generation"`
+	// Queries counts /v1/search requests since process start —
+	// monotonic, malformed requests included (they cost the front end
+	// even when they never reach the index).
+	Queries uint64 `json:"queries"`
+	// InflightQueries is the number of /v1/search requests being
+	// served right now.
+	InflightQueries int64 `json:"inflight_queries"`
+	// Cache reports the serving engine's result-cache counters; absent
+	// when no cache is enabled.
+	Cache *CacheStats `json:"cache,omitempty"`
 	// LastReload is when the serving engine was last swapped
 	// (RFC3339Nano; empty = never reloaded since startup).
 	LastReload string `json:"last_reload,omitempty"`
 	// Tables is the semantic store's relational table count (semantic
 	// deployments only).
 	Tables int `json:"tables,omitempty"`
+}
+
+// CacheStats is the result cache's counter block on the wire: the raw
+// monotonic counters plus the derived hit ratio, so dashboards don't
+// re-implement the arithmetic.
+type CacheStats struct {
+	rescache.Stats
+	HitRatio float64 `json:"hit_ratio"`
 }
 
 // Options wires a Server to the process's capabilities. Nil fields
@@ -92,6 +116,12 @@ type Options struct {
 type Server struct {
 	opts Options
 	mux  *http.ServeMux
+
+	// Serving counters (see Stats): monotonic query count and the
+	// in-flight gauge, maintained with atomics so /v1/admin/stats
+	// never serves a torn value.
+	queries  atomic.Uint64
+	inflight atomic.Int64
 }
 
 // New assembles the /v1 surface for the given capabilities.
@@ -166,6 +196,9 @@ type searchResponse struct {
 
 // GET /v1/search?q=...&k=10&offset=0&annotated=true&host=...
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if !httpx.RequireMethod(w, r, http.MethodGet) {
 		return
 	}
@@ -217,6 +250,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("X-Generation", strconv.FormatUint(uint64(resp.Generation), 10))
+	// X-Cache makes the serving tier's work observable per response:
+	// HIT = served from the result cache (or collapsed onto another
+	// request's in-flight scan), MISS = a fresh index scan. An engine
+	// without a cache answers MISS for every request.
+	if resp.Cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
 	httpx.WriteJSON(w, http.StatusOK, out)
 }
 
@@ -224,11 +266,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // configured sources, run through the binary's augment hook if set.
 func (s *Server) stats() Stats {
 	var st Stats
+	st.Queries = s.queries.Load()
+	st.InflightQueries = s.inflight.Load()
 	if e := s.engine(); e != nil {
 		st.Docs = e.Index.Len()
 		st.Deleted = e.Index.Deleted()
 		st.TombstoneRatio = e.Index.TombstoneRatio()
 		st.Generation = e.Generation
+		if cs, ok := e.CacheStats(); ok {
+			st.Cache = &CacheStats{Stats: cs, HitRatio: cs.HitRatio()}
+		}
 	}
 	if s.opts.Semantics != nil {
 		st.Tables = len(s.opts.Semantics.Tables)

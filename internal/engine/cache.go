@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"deepweb/internal/index"
+	"deepweb/internal/rescache"
+	"deepweb/internal/textutil"
+)
+
+// Result caching: the serving tier's answer to repeated-query traffic.
+// Web query load is heavily skewed (the §3.2 long-tail curve: a small
+// head of queries carries half the traffic), so the same searches
+// arrive over and over while the index between refreshes is immutable.
+// An enabled engine routes Search through a bounded rescache keyed by
+//
+//	(Generation, mutation epoch, normalized query, k, offset, host, annotated)
+//
+// — every input that can change the answer. Correctness falls out of
+// the key, not of invalidation traffic:
+//
+//   - A snapshot reload swaps in a new *Engine (deepsearch's atomic
+//     pointer), and the cache lives on the engine, so engine and cache
+//     swap together by construction; the new engine's Generation also
+//     differs, so even a shared external cache could never cross the
+//     boundary.
+//   - An in-place mutation (Surface commit, Refresh, Compact) bumps the
+//     engine's mutation epoch, so every key minted before it becomes
+//     unreachable and ages out of the LRU. Queries racing a mutation may
+//     cache a transient index state, exactly as the uncached path would
+//     have served it — and the epoch bump at the end of the mutating
+//     pass retires those entries, so no pre-pass or mid-pass result is
+//     ever served after the pass completes.
+//
+// The query is normalized through the index's own term pipeline
+// (tokenize, stopword, stem), so "Used FORD!!" and "used ford" share
+// an entry — they are the same query to BM25.
+//
+// Responses are deep-copied on every cache boundary crossing (see
+// rescache), so callers can never alias the cached Results slice.
+// Memory bound: Capacity entries × (one key string + k Results of a
+// few short strings each) — a 4096-entry cache of k=10 pages is a few
+// MB.
+
+// EnableResultCache routes this engine's Search through a bounded
+// result cache of the given capacity (entries). capacity <= 0 disables
+// caching. Enable before serving traffic; the switch itself is not
+// synchronized with in-flight searches.
+func (e *Engine) EnableResultCache(capacity int) {
+	if capacity <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = rescache.New(capacity, 0, cloneSearchResponse)
+}
+
+// CacheStats reports the result cache's counters; ok is false when no
+// cache is enabled.
+func (e *Engine) CacheStats() (st rescache.Stats, ok bool) {
+	if e.cache == nil {
+		return rescache.Stats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// bumpEpoch retires every cached search result minted before this
+// point. Called at the end of each mutating step so post-mutation
+// queries can never be answered from pre-mutation state.
+func (e *Engine) bumpEpoch() { e.epoch.Add(1) }
+
+// cloneSearchResponse deep-copies a response so no two cache callers
+// share the Results slice (index.Result holds only value types and
+// immutable strings, so copying the elements is a deep copy).
+func cloneSearchResponse(r SearchResponse) SearchResponse {
+	out := r
+	if r.Results != nil {
+		out.Results = append([]index.Result(nil), r.Results...)
+	}
+	return out
+}
+
+// searchCacheKey folds every answer-changing input into one opaque
+// string: serving identity (generation + epoch), pagination and filter
+// options, and the normalized query terms.
+func (e *Engine) searchCacheKey(req SearchRequest) string {
+	var b strings.Builder
+	b.Grow(48 + len(req.Query) + len(req.Host))
+	b.WriteString(strconv.FormatUint(uint64(e.Generation), 10))
+	b.WriteByte('\x00')
+	b.WriteString(strconv.FormatUint(e.epoch.Load(), 10))
+	b.WriteByte('\x00')
+	b.WriteString(strconv.Itoa(req.K))
+	b.WriteByte('\x00')
+	b.WriteString(strconv.Itoa(req.Offset))
+	b.WriteByte('\x00')
+	if req.Annotated {
+		b.WriteByte('a')
+	}
+	b.WriteByte('\x00')
+	b.WriteString(req.Host)
+	b.WriteByte('\x00')
+	for i, term := range textutil.StemmedTokens(req.Query) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(term)
+	}
+	return b.String()
+}

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"net/url"
 	"sync"
+	"sync/atomic"
 
 	"deepweb/internal/core"
 	"deepweb/internal/coverage"
 	"deepweb/internal/form"
 	"deepweb/internal/index"
+	"deepweb/internal/rescache"
 	"deepweb/internal/textutil"
 	"deepweb/internal/webgen"
 	"deepweb/internal/webx"
@@ -72,6 +74,13 @@ type Engine struct {
 	// pages and crawled surface-web pages alike), so Refresh can retire
 	// a churned site's documents without scanning the whole index.
 	hostDocs map[string][]int
+
+	// cache is the serving-tier result cache (nil = disabled; see
+	// EnableResultCache and cache.go). epoch counts index mutations —
+	// it is part of every cache key, so bumping it retires all entries
+	// minted before the mutation.
+	cache *rescache.Cache[SearchResponse]
+	epoch atomic.Uint64
 }
 
 // DefaultCompactRatio is the CompactRatio new engines start with.
@@ -125,6 +134,7 @@ func (e *Engine) IndexSurfaceWeb() int {
 			e.trackDoc(p.URL, id)
 		}
 	}
+	e.bumpEpoch()
 	return n
 }
 
@@ -297,6 +307,9 @@ func (e *Engine) commitOutcome(out *siteOutcome) {
 	e.IngestStats[out.host] = out.stats
 	e.SiteSignatures[out.host] = out.sig
 	e.hostDocs[out.host] = append(e.hostDocs[out.host], ids...)
+	// Each commit is a visible index mutation: retire cached results so
+	// no query answered after this point sees pre-commit state.
+	e.bumpEpoch()
 }
 
 // errCancelled marks sites skipped after an earlier site (in commit

@@ -161,6 +161,9 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 			}
 		}
 		e.hostDocs[host] = surfaceIDs
+		// Retiring a site's documents is a visible mutation: stop the
+		// result cache from serving its pre-retire rankings.
+		e.bumpEpoch()
 	}
 
 	// Re-surface on the shared pipeline. At each site's commit point
@@ -228,6 +231,8 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 func (e *Engine) Compact() int {
 	reclaimed := e.Index.Compact()
 	e.rebuildHostDocs()
+	// Compaction renumbers doc ids; cached pages carry the old ids.
+	e.bumpEpoch()
 	return reclaimed
 }
 

@@ -47,14 +47,46 @@ type SearchResponse struct {
 	// Generation is the engine's snapshot generation id (0 = built
 	// live, never snapshot).
 	Generation uint32
+	// Cached reports that this response was served from the result
+	// cache (or collapsed onto another request's in-flight scan)
+	// instead of a fresh index scan. Results/Total/Generation are
+	// bit-identical either way; Elapsed is the cache path's own
+	// wall-clock.
+	Cached bool
 }
 
 // Search answers req against the engine's index. The context cancels
 // scoring between query terms; a canceled search returns ctx.Err().
+//
+// With a result cache enabled (EnableResultCache) the repeated-query
+// hot path is O(copy): identical requests against an unchanged index
+// are answered from the cache, and concurrent identical misses
+// collapse into one scan. Responses are bit-identical to the uncached
+// path — same ids, same float score bits, same tie order, same Total —
+// and every caller gets a private copy of the Results slice.
 func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if e.cache == nil {
+		return e.searchUncached(ctx, req)
+	}
+	start := time.Now()
+	resp, cached, err := e.cache.Do(ctx, e.searchCacheKey(req), func() (SearchResponse, error) {
+		return e.searchUncached(ctx, req)
+	})
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	if cached {
+		resp.Cached = true
+		resp.Elapsed = time.Since(start)
+	}
+	return resp, nil
+}
+
+// searchUncached is the always-scan path behind Search.
+func (e *Engine) searchUncached(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	start := time.Now()
 	var keep func(index.Doc) bool
 	if req.Host != "" {

@@ -1,0 +1,48 @@
+package httpx
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Debug/profiling surface. pprof never mounts on a serving mux — the
+// binaries use explicit muxes precisely so net/http/pprof's
+// DefaultServeMux registration can't leak heap dumps and symbol tables
+// through the public listener. Profiling is its own listener, opt-in
+// via each binary's -debugaddr flag, and typically bound to localhost.
+
+// DebugMux returns a mux exposing the standard net/http/pprof
+// endpoints under /debug/pprof/.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the pprof listener on addr in a goroutine; "" is a
+// no-op, so binaries can pass their -debugaddr flag through unchecked.
+// It also arms mutex and block profiling at sampling rates cheap
+// enough to leave on while load-testing (the contention profiles are
+// the interesting ones for a sharded cache). The listener deliberately
+// skips Server's write timeout: a 30-second CPU profile
+// (/debug/pprof/profile?seconds=30) streams longer than any sane
+// serving timeout.
+func ServeDebug(addr string) {
+	if addr == "" {
+		return
+	}
+	runtime.SetMutexProfileFraction(16)
+	runtime.SetBlockProfileRate(int(1e6)) // sample blocking events ≥ ~1ms
+	go func() {
+		log.Printf("debug: pprof on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, DebugMux()); err != nil {
+			log.Printf("debug: %v", err)
+		}
+	}()
+}

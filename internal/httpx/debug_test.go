@@ -1,0 +1,37 @@
+package httpx
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMuxServesPprof(t *testing.T) {
+	srv := httptest.NewServer(DebugMux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index missing profile listing: %.200s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("goroutine profile: status %d", resp.StatusCode)
+	}
+}

@@ -26,6 +26,17 @@ func Tokenize(s string) []string {
 	return out
 }
 
+// StemmedTokens runs the index's full term pipeline — tokenize, drop
+// stopwords, stem — over s. Two strings with equal StemmedTokens are
+// the same query to BM25, which is what makes it the result cache's
+// normalization.
+func StemmedTokens(s string) []string {
+	tz := getTokenizer()
+	out := tz.StemmedTokensInto(nil, s)
+	putTokenizer(tz)
+	return out
+}
+
 // ContentTokens tokenizes s and removes stopwords and pure-digit
 // tokens. It is the candidate pool used for seed-keyword extraction.
 func ContentTokens(s string) []string {

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepweb/internal/datagen"
+	"deepweb/internal/dist"
+)
+
+// Query-pool side of the workload model: where workload.go models which
+// *forms* power-law traffic lands on (E1's analytic arm), this file
+// produces the concrete query strings a load generator replays against
+// the serving tier. The strings are built from the same datagen
+// vocabularies the synthetic web is generated from, so head-of-pool
+// queries actually hit surfaced documents rather than scoring zero.
+
+// queryTemplates are the shapes QueryPool cycles through, mirroring the
+// verticals of the synthetic web (vehicles, real estate, jobs, recipes,
+// library). Each is a function of a seeded rng so the combinatorial
+// space stays large enough to fill big pools without repeats.
+var queryTemplates = []func(r *rand.Rand) string{
+	func(r *rand.Rand) string {
+		mi := r.Intn(len(datagen.CarMakes))
+		return fmt.Sprintf("used %s %s", datagen.CarMakes[mi],
+			datagen.CarModels[mi][r.Intn(len(datagen.CarModels[mi]))])
+	},
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("homes in %s", datagen.USCities[r.Intn(len(datagen.USCities))])
+	},
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("%s jobs in %s",
+			datagen.JobTitles[r.Intn(len(datagen.JobTitles))],
+			datagen.USCities[r.Intn(len(datagen.USCities))])
+	},
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("%s %s recipe",
+			datagen.Cuisines[r.Intn(len(datagen.Cuisines))],
+			datagen.Dishes[r.Intn(len(datagen.Dishes))])
+	},
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("%s books", datagen.BookSubjects[r.Intn(len(datagen.BookSubjects))])
+	},
+	func(r *rand.Rand) string {
+		mi := r.Intn(len(datagen.CarMakes))
+		return fmt.Sprintf("%s %s %s in %s",
+			datagen.NoteWords[r.Intn(len(datagen.NoteWords))],
+			datagen.CarMakes[mi],
+			datagen.CarModels[mi][r.Intn(len(datagen.CarModels[mi]))],
+			datagen.USCities[r.Intn(len(datagen.USCities))])
+	},
+}
+
+// QueryPool returns n distinct query strings, deterministic in seed.
+// Index order is the pool's popularity rank order (rank 0 first); a
+// Zipfian sampler over indices therefore concentrates traffic on the
+// pool's head exactly as search traffic concentrates on head queries.
+func QueryPool(seed int64, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	pool := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(pool) < n; i++ {
+		q := queryTemplates[i%len(queryTemplates)](r)
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		pool = append(pool, q)
+	}
+	return pool
+}
+
+// Sampler draws queries from a pool under Zipfian popularity: the
+// pool's head ranks dominate, the tail appears rarely — the traffic
+// shape of §3.2 pointed at the serving tier instead of at forms.
+//
+// A Sampler is NOT safe for concurrent use (it owns a single rng
+// stream); give each load-generating worker its own, seeded
+// distinctly, so workers draw independent streams deterministically.
+type Sampler struct {
+	pool []string
+	z    *dist.Zipf
+}
+
+// NewSampler builds a Zipfian sampler over pool with exponent s
+// (s = 0 is uniform; larger s concentrates harder on the head).
+func NewSampler(seed int64, s float64, pool []string) *Sampler {
+	return &Sampler{pool: pool, z: dist.NewZipf(seed, s, uint64(len(pool)))}
+}
+
+// Next draws one query.
+func (s *Sampler) Next() string { return s.pool[s.z.Next()] }

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestQueryPoolDeterministicAndDistinct(t *testing.T) {
+	a := QueryPool(7, 500)
+	b := QueryPool(7, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different pools")
+	}
+	if len(a) != 500 {
+		t.Fatalf("pool size %d, want 500", len(a))
+	}
+	seen := map[string]bool{}
+	for _, q := range a {
+		if seen[q] {
+			t.Fatalf("duplicate query %q", q)
+		}
+		seen[q] = true
+		if strings.TrimSpace(q) == "" {
+			t.Fatal("empty query in pool")
+		}
+	}
+	if c := QueryPool(8, 500); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical pools")
+	}
+	if QueryPool(7, 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestSamplerZipfianSkew(t *testing.T) {
+	pool := QueryPool(7, 100)
+	s := NewSampler(1, 1.1, pool)
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[s.Next()]++
+	}
+	// The head query must dominate a mid-pool one decisively under
+	// s = 1.1 (analytically ~50×; leave slack for sampling noise).
+	head, mid := counts[pool[0]], counts[pool[50]]
+	if head == 0 || head < 10*mid {
+		t.Fatalf("no Zipfian skew: head %d draws vs rank-50 %d", head, mid)
+	}
+	// Determinism: same seed, same stream.
+	s1, s2 := NewSampler(3, 1.1, pool), NewSampler(3, 1.1, pool)
+	for i := 0; i < 100; i++ {
+		if a, b := s1.Next(), s2.Next(); a != b {
+			t.Fatalf("draw %d diverged: %q vs %q", i, a, b)
+		}
+	}
+}

@@ -5,7 +5,8 @@
 # This is the single definition of "the hot paths" for both CI and
 # `make bench`: the zero-allocation text pipeline, index add/search
 # (with and without tombstones), the snapshot save/load vs cold-surface
-# startup pair, the incremental refresh pass, and end-to-end surfacing.
+# startup pair, the incremental refresh pass, the serving tier's
+# cached/uncached/parallel Search triple, and end-to-end surfacing.
 # CI runs it on the PR head and on the merge base and diffs the two
 # with benchstat, so keep the set additive — a benchmark that exists
 # only on one side simply shows up as new/deleted in the table.
@@ -17,4 +18,5 @@ go test -run '^$' -bench . -benchmem -benchtime 100x -count "$count" \
   ./internal/textutil ./internal/index
 go test -run '^$' -bench 'Snapshot|ColdSurface|Refresh' -benchmem -benchtime 3x -count "$count" \
   ./internal/engine
+go test -run '^$' -bench 'BenchmarkSearch(Uncached|Cached|Parallel)$' -benchmem -benchtime 500x -count "$count" .
 go test -run '^$' -bench BenchmarkSurfaceAll -benchmem -benchtime 1x -count "$count" .
