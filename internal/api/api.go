@@ -199,6 +199,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	// X-Cache makes the serving tier's work observable on every
+	// /v1/search response, error envelopes included: HIT = served from
+	// the result cache (or collapsed onto another request's in-flight
+	// scan), MISS = anything else — a fresh index scan, a rejected
+	// request, an unavailable engine.
+	w.Header().Set("X-Cache", "MISS")
 	if !httpx.RequireMethod(w, r, http.MethodGet) {
 		return
 	}
@@ -250,14 +256,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("X-Generation", strconv.FormatUint(uint64(resp.Generation), 10))
-	// X-Cache makes the serving tier's work observable per response:
-	// HIT = served from the result cache (or collapsed onto another
-	// request's in-flight scan), MISS = a fresh index scan. An engine
-	// without a cache answers MISS for every request.
 	if resp.Cached {
 		w.Header().Set("X-Cache", "HIT")
-	} else {
-		w.Header().Set("X-Cache", "MISS")
 	}
 	httpx.WriteJSON(w, http.StatusOK, out)
 }

@@ -44,6 +44,16 @@ func TestXCacheHeader(t *testing.T) {
 			t.Fatalf("uncached engine X-Cache = %q, want MISS", got)
 		}
 	}
+
+	// The contract is every /v1/search response, error envelopes
+	// included: a rejected request and an unavailable engine are MISS.
+	if rec := do(s, "GET", "/v1/search"); rec.Code != 400 || rec.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("malformed request: status %d, X-Cache %q; want 400 MISS", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	noEngine := New(Options{Engine: func() *engine.Engine { return nil }})
+	if rec := do(noEngine, "GET", "/v1/search?q=ford"); rec.Code != 503 || rec.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("engine unavailable: status %d, X-Cache %q; want 503 MISS", rec.Code, rec.Header().Get("X-Cache"))
+	}
 }
 
 // The /v1/admin/stats JSON contract for a caching deployment: every

@@ -35,7 +35,12 @@ import (
 //
 // The query is normalized through the index's own term pipeline
 // (tokenize, stopword, stem), so "Used FORD!!" and "used ford" share
-// an entry — they are the same query to BM25.
+// an entry — they are the same query to BM25. Annotated requests
+// additionally fold in the raw tokenized query: annotation-vocabulary
+// matching (annStore.valuesMentioned) runs over unstemmed tokens, so
+// stem-colliding queries like "honda civic" and "honda civics" are the
+// same query to BM25 but not to annotated ranking, and must not share
+// an entry.
 //
 // Responses are deep-copied on every cache boundary crossing (see
 // rescache), so callers can never alias the cached Results slice.
@@ -47,6 +52,12 @@ import (
 // result cache of the given capacity (entries). capacity <= 0 disables
 // caching. Enable before serving traffic; the switch itself is not
 // synchronized with in-flight searches.
+//
+// Once a cache is armed, every index mutation must go through an
+// Engine method (IndexSurfaceWeb, Surface commits, Refresh, Compact):
+// those bump the mutation epoch that retires cached entries. Mutating
+// the exported Index directly bypasses the bump, and with no TTL the
+// cache would serve pre-mutation results indefinitely.
 func (e *Engine) EnableResultCache(capacity int) {
 	if capacity <= 0 {
 		e.cache = nil
@@ -105,6 +116,19 @@ func (e *Engine) searchCacheKey(req SearchRequest) string {
 			b.WriteByte(' ')
 		}
 		b.WriteString(term)
+	}
+	if req.Annotated {
+		// Annotated ranking matches annotation vocabulary against the
+		// raw tokenized query, which is not a function of the stemmed
+		// terms — fold the raw tokens in so stem-colliding queries
+		// can't alias each other's entries.
+		b.WriteByte('\x00')
+		for i, term := range textutil.Tokenize(req.Query) {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(term)
+		}
 	}
 	return b.String()
 }

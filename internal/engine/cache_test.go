@@ -21,6 +21,11 @@ var cacheRequests = []SearchRequest{
 	{Query: "seattle", K: 100},
 	{Query: "seattle", K: 5, Host: "realestate-00.example"},
 	{Query: "homes in seattle", K: 10, Annotated: true},
+	// Stem-collides with the query above ("homes"/"home",
+	// "seattle"/"seattles" conflate under Stem) but tokenizes
+	// differently, so annotated vocabulary matching may disagree — the
+	// two must not share a cache entry.
+	{Query: "home in seattles", K: 10, Annotated: true},
 	{Query: "zzz-no-such-term", K: 10},
 	{Query: "the of and", K: 10}, // all stopwords: empty normalized query
 }
@@ -158,6 +163,24 @@ func TestCacheKeyChangesWithGeneration(t *testing.T) {
 	assertBitIdentical(t, "post-save", cold, SearchResponse{
 		Results: warm.Results, Total: warm.Total, Generation: e.Generation,
 	})
+}
+
+// Annotated ranking is not a pure function of the stemmed query:
+// annotation-vocabulary matching (annStore.valuesMentioned) runs over
+// the raw tokenized query, so spellings that stem-collide must not
+// share a cache entry when Annotated — and must share one when plain,
+// because they are the same query to BM25.
+func TestCacheKeySeparatesAnnotatedStemCollisions(t *testing.T) {
+	e := surfacedEngine(t, 1)
+	a := SearchRequest{Query: "homes in seattle", K: 10}
+	b := SearchRequest{Query: "home in seattles", K: 10}
+	if e.searchCacheKey(a) != e.searchCacheKey(b) {
+		t.Fatal("stem-colliding plain queries got distinct keys; they are the same query to BM25")
+	}
+	a.Annotated, b.Annotated = true, true
+	if e.searchCacheKey(a) == e.searchCacheKey(b) {
+		t.Fatal("stem-colliding annotated queries share a key; annotated ranking sees raw tokens")
+	}
 }
 
 // Concurrent identical queries collapse into few scans, every caller

@@ -100,9 +100,10 @@ type shard[V any] struct {
 // value is not usable; construct with New. A nil *Cache is a valid
 // no-op cache: Do runs the fill directly.
 type Cache[V any] struct {
-	shards []shard[V]
-	seed   maphash.Seed
-	clone  func(V) V
+	shards   []shard[V]
+	seed     maphash.Seed
+	clone    func(V) V
+	capTotal int
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -129,27 +130,35 @@ func New[V any](capacity, nShards int, clone func(V) V) *Cache[V] {
 		clone = func(v V) V { return v }
 	}
 	c := &Cache[V]{
-		shards: make([]shard[V], nShards),
-		seed:   maphash.MakeSeed(),
-		clone:  clone,
+		shards:   make([]shard[V], nShards),
+		seed:     maphash.MakeSeed(),
+		clone:    clone,
+		capTotal: capacity,
 	}
-	per := (capacity + nShards - 1) / nShards
+	// Spread capacity exactly: the first capacity%nShards shards take
+	// one extra entry, so the per-shard bounds sum to the configured
+	// total (nShards <= capacity guarantees every shard holds >= 1).
+	per, extra := capacity/nShards, capacity%nShards
 	for i := range c.shards {
+		cp := per
+		if i < extra {
+			cp++
+		}
 		c.shards[i] = shard[V]{
-			entries:  make(map[string]*entry[V], per),
+			entries:  make(map[string]*entry[V], cp),
 			inflight: map[string]*flight[V]{},
-			cap:      per,
+			cap:      cp,
 		}
 	}
 	return c
 }
 
-// Capacity is the total entry bound.
+// Capacity is the total entry bound, exactly as configured.
 func (c *Cache[V]) Capacity() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.shards) * c.shards[0].cap
+	return c.capTotal
 }
 
 // Stats snapshots the counters.

@@ -226,23 +226,39 @@ func TestNilCache(t *testing.T) {
 	}
 }
 
-// Keys spread across shards and the per-shard bound composes to the
-// configured capacity (rounded up by shard granularity).
+// Keys spread across shards and the per-shard bounds compose to
+// exactly the configured capacity — including when capacity does not
+// divide evenly by the shard count (the remainder is distributed, not
+// rounded up).
 func TestShardedCapacity(t *testing.T) {
-	c := New[int](64, 8, nil)
-	if got := c.Capacity(); got != 64 {
-		t.Fatalf("capacity %d, want 64", got)
-	}
-	for i := 0; i < 1000; i++ {
-		k := fmt.Sprintf("key-%d", i)
-		c.Do(bg(), k, func() (int, error) { return i, nil })
-	}
-	st := c.Stats()
-	if st.Entries > c.Capacity() {
-		t.Fatalf("entries %d exceed capacity %d", st.Entries, c.Capacity())
-	}
-	if st.Evictions == 0 {
-		t.Fatal("1000 inserts into a 64-entry cache evicted nothing")
+	for _, tc := range []struct{ capacity, shards int }{
+		{64, 8}, {100, 16}, {7, 3}, {5, 16}, {1, 1},
+	} {
+		c := New[int](tc.capacity, tc.shards, nil)
+		if got := c.Capacity(); got != tc.capacity {
+			t.Fatalf("New(%d, %d).Capacity() = %d, want %d", tc.capacity, tc.shards, got, tc.capacity)
+		}
+		sum := 0
+		for i := range c.shards {
+			if c.shards[i].cap < 1 {
+				t.Fatalf("New(%d, %d): shard %d holds %d entries", tc.capacity, tc.shards, i, c.shards[i].cap)
+			}
+			sum += c.shards[i].cap
+		}
+		if sum != tc.capacity {
+			t.Fatalf("New(%d, %d): per-shard caps sum to %d", tc.capacity, tc.shards, sum)
+		}
+		for i := 0; i < 20*tc.capacity; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			c.Do(bg(), k, func() (int, error) { return i, nil })
+		}
+		st := c.Stats()
+		if st.Entries > tc.capacity {
+			t.Fatalf("New(%d, %d): %d resident entries exceed the bound", tc.capacity, tc.shards, st.Entries)
+		}
+		if st.Evictions == 0 {
+			t.Fatalf("New(%d, %d): overfilling evicted nothing", tc.capacity, tc.shards)
+		}
 	}
 }
 
