@@ -2,7 +2,7 @@
 # check a PR will face is reproducible with one command before pushing.
 GO ?= go
 
-.PHONY: verify fmt vet build test bench fuzz lint examples load
+.PHONY: verify fmt vet build test bench fuzz lint examples load chaos
 
 # verify = the CI `test` job: gofmt, vet, build, race-enabled tests.
 verify: fmt vet build test
@@ -43,6 +43,15 @@ examples:
 		echo "== go run ./$$d"; \
 		$(GO) run "./$$d"; \
 	done
+
+# chaos = the CI chaos-smoke gate: the convergence property (a chaos
+# surface plus bounded refreshes equals a fault-free corpus bit for
+# bit) under the race detector, then a deepcrawl pass with fault
+# injection armed — which must finish with exit 0: every injected
+# fault is transient, so nothing may be classified permanent.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/engine
+	$(GO) run ./cmd/deepcrawl -sites 1 -rows 60 -chaos -chaosseed 7
 
 # fuzz = the CI fuzz-smoke job (differential tokenizer fuzzing).
 FUZZTIME ?= 30s

@@ -42,7 +42,7 @@ func BenchmarkSurfaceAll(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := engine.New(web)
 				e.Workers = workers
-				if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+				if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 					b.Fatal(err)
 				}
 				docs = e.Index.Len()
@@ -76,7 +76,7 @@ func servingEngine(b *testing.B) *engine.Engine {
 		}
 		e.Workers = 4
 		e.IndexSurfaceWeb()
-		if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+		if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			servingBench.err = err
 			return
 		}

@@ -17,10 +17,17 @@
 // given), and a SIGHUP makes a running `deepsearch -snapshot` pick it
 // up without restarting.
 //
+// With -chaos the run goes through a deterministic fault-injecting
+// transport (seeded by -chaosseed): hosts flap, rate-limit, reset
+// connections, truncate and garble bodies. The resilient fetch stack
+// retries and classifies; the report gains a per-site failure table,
+// and the exit code is non-zero when any site failed permanently.
+//
 // Usage:
 //
 //	deepcrawl [-sites N] [-rows N] [-seed N] [-workers N] [-naive] [-post N] [-out DIR]
 //	deepcrawl [world flags] -refresh DIR [-churn N] [-churnseed N] [-out DIR]
+//	deepcrawl [world flags] -chaos [-chaosseed N]
 package main
 
 import (
@@ -53,6 +60,8 @@ func main() {
 	churnSeed := flag.Int64("churnseed", 1, "with -refresh: seed of the churn mutation stream")
 	refreshBudget := flag.Float64("refreshbudget", 0, "with -refresh: probe-budget fraction (0,1] for re-surfacing a changed site (0 = full budget)")
 	hostCap := flag.Int("hostcap", 0, "with -refresh: max requests per host during the refresh pass (0 = uncapped)")
+	chaos := flag.Bool("chaos", false, "inject deterministic per-host faults (flaps, 5xx, 429s, resets, truncation, garbling)")
+	chaosSeed := flag.Int64("chaosseed", 1, "with -chaos: seed of the fault streams")
 	flag.Parse()
 	log.SetFlags(0)
 	// Fail bad sizes loudly at startup — a zero or negative world size
@@ -91,9 +100,21 @@ func main() {
 		log.Fatal(err)
 	}
 	e.Workers = *workers
+	var storm *webgen.Chaos
+	if *chaos {
+		storm = webgen.NewChaos(e.Web, *chaosSeed)
+		hosts := make([]string, 0, len(e.Web.Sites()))
+		for _, site := range e.Web.Sites() {
+			hosts = append(hosts, site.Spec.Host)
+		}
+		storm.ApplyDefaultProfiles(hosts)
+		e.UseTransport(storm)
+		fmt.Printf("chaos: fault injection armed over %d hosts (seed %d)\n", len(hosts), *chaosSeed)
+	}
 	fmt.Printf("surfacing %d sites (%d rows each, %d workers, naive=%v)\n\n",
 		len(e.Web.Sites()), *rows, *workers, *naive)
-	if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: cfg, FollowNext: 3}); err != nil {
+	resp, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: cfg, FollowNext: 3})
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -124,6 +145,8 @@ func main() {
 	fmt.Printf("\n%d URLs surfaced, %d documents indexed, mean coverage %.0f%%\n",
 		totalDocs, e.Index.Len(), 100*e.MeanCoverage())
 
+	permanentFailures := printOutcomes(resp.Sites, storm)
+
 	if *out != "" {
 		// Index the surface web too, so the snapshot covers crawled
 		// pages as well as surfaced ones. (The corpus is deepcrawl's —
@@ -144,6 +167,49 @@ func main() {
 		fmt.Printf("snapshot: semantics (%d pages → %d tables) saved in %v\n",
 			sem.PagesCrawled, len(sem.Tables), time.Since(start).Round(time.Millisecond))
 	}
+
+	if permanentFailures > 0 {
+		fmt.Fprintf(os.Stderr, "deepcrawl: %d site(s) failed permanently\n", permanentFailures)
+		os.Exit(1)
+	}
+}
+
+// printOutcomes renders the per-site failure table (sites that retried,
+// degraded or failed) plus the fetch-stack totals, and returns how many
+// sites failed permanently.
+func printOutcomes(reports map[string]engine.SiteReport, storm *webgen.Chaos) int {
+	var troubled []string
+	permanent := 0
+	for host, rep := range reports {
+		if rep.Status == engine.SiteFailedPermanent {
+			permanent++
+		}
+		if rep.Status != engine.SiteOK || rep.Retries > 0 {
+			troubled = append(troubled, host)
+		}
+	}
+	if len(troubled) == 0 {
+		return permanent
+	}
+	sort.Strings(troubled)
+	fmt.Println("\nper-site fetch outcomes (sites with retries or failures):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SITE\tOUTCOME\tATTEMPTS\tRETRIES\tTIMEOUTS\tINJECTED\tERROR")
+	for _, host := range troubled {
+		rep := reports[host]
+		injected := 0
+		if storm != nil {
+			injected = storm.Injected(host)
+		}
+		errText := rep.Err
+		if len(errText) > 60 {
+			errText = errText[:57] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			host, rep.Status, rep.Attempts, rep.Retries, rep.Timeouts, injected, errText)
+	}
+	tw.Flush()
+	return permanent
 }
 
 // runRefresh rebuilds the world the snapshot was surfaced from, ages
@@ -176,6 +242,10 @@ func runRefresh(worldCfg webgen.WorldConfig, req engine.RefreshRequest, dir, out
 	fmt.Printf("refresh: %d/%d sites changed, %d docs retired, %d added, %d surface pages refetched, compacted=%v in %v\n",
 		st.SitesChanged, st.SitesChecked, st.DocsDeleted, st.DocsAdded, st.SurfacePages,
 		st.Compacted, time.Since(start).Round(time.Millisecond))
+	if n := printOutcomes(st.Sites, nil); n > 0 {
+		fmt.Fprintf(os.Stderr, "deepcrawl: %d site(s) failed permanently during refresh\n", n)
+		os.Exit(1)
+	}
 
 	start = time.Now()
 	if err := e.Save(out); err != nil {

@@ -104,7 +104,7 @@ func main() {
 		e.IndexSurfaceWeb()
 		log.Printf("phase index-surface-web: %v", time.Since(start).Round(time.Millisecond))
 		start = time.Now()
-		if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
+		if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("phase surface: %v (%d workers)", time.Since(start).Round(time.Millisecond), *workers)

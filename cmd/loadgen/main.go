@@ -32,10 +32,12 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -68,6 +70,13 @@ type Report struct {
 	ErrorRate float64 `json:"error_rate"`
 	QPS       float64 `json:"qps"`
 
+	// The error breakdown: where the failures came from — requests that
+	// timed out, 5xx answers from the server, and everything else at the
+	// transport/client layer (including non-5xx error statuses).
+	ErrorsTimeout   uint64 `json:"errors_timeout"`
+	Errors5xx       uint64 `json:"errors_5xx"`
+	ErrorsTransport uint64 `json:"errors_transport"`
+
 	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P95 float64 `json:"p95"`
@@ -85,8 +94,32 @@ type Report struct {
 type workerResult struct {
 	latencies []float64 // milliseconds
 	errors    uint64
+	timeouts  uint64
+	http5xx   uint64
+	transport uint64
 	hits      uint64
 	misses    uint64
+}
+
+// statusErr carries a non-200 HTTP status as an error, so the merge
+// loop can split 5xx (the server buckling) from everything else.
+type statusErr int
+
+func (s statusErr) Error() string { return fmt.Sprintf("status %d", int(s)) }
+
+// tally classifies one failed request into the worker's breakdown.
+func (r *workerResult) tally(err error) {
+	r.errors++
+	var se statusErr
+	var ne net.Error
+	switch {
+	case errors.As(err, &se) && se >= 500:
+		r.http5xx++
+	case errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()):
+		r.timeouts++
+	default:
+		r.transport++
+	}
 }
 
 func main() {
@@ -156,7 +189,7 @@ func main() {
 				elapsed, cached, err := fire(w, sampler)
 				res.latencies = append(res.latencies, float64(elapsed)/float64(time.Millisecond))
 				if err != nil {
-					res.errors++
+					res.tally(err)
 					continue
 				}
 				if cached {
@@ -173,6 +206,9 @@ func main() {
 	for i := range results {
 		all = append(all, results[i].latencies...)
 		rep.Errors += results[i].errors
+		rep.ErrorsTimeout += results[i].timeouts
+		rep.Errors5xx += results[i].http5xx
+		rep.ErrorsTransport += results[i].transport
 		rep.CacheHits += results[i].hits
 		rep.CacheMisses += results[i].misses
 	}
@@ -192,10 +228,12 @@ func main() {
 	fmt.Printf(`
 mode         %s %s
 requests     %d (%d errors, %.2f%% error rate)
+errors       %d timeout / %d 5xx / %d transport
 throughput   %.1f qps
 latency ms   p50 %.3f   p95 %.3f   p99 %.3f   max %.3f
 cache        %d hits / %d misses, hit ratio %.3f
 `, rep.Mode, rep.Target, rep.Requests, rep.Errors, rep.ErrorRate*100,
+		rep.ErrorsTimeout, rep.Errors5xx, rep.ErrorsTransport,
 		rep.QPS, rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max,
 		rep.CacheHits, rep.CacheMisses, rep.HitRatio)
 
@@ -251,7 +289,7 @@ func httpFirer(target string, k int) func(int, *workload.Sampler) (time.Duration
 		resp.Body.Close()
 		elapsed := time.Since(start)
 		if resp.StatusCode != http.StatusOK {
-			return elapsed, false, fmt.Errorf("status %d", resp.StatusCode)
+			return elapsed, false, statusErr(resp.StatusCode)
 		}
 		return elapsed, resp.Header.Get("X-Cache") == "HIT", nil
 	}
@@ -283,7 +321,7 @@ func buildEngine(snapshot string, seed int64, sites, rows, workers, cacheCap int
 		}
 		e.Workers = workers
 		e.IndexSurfaceWeb()
-		if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
+		if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -31,7 +31,7 @@ func main() {
 	// ingests the surfaced pages into its index like any other pages
 	// (§3.2).
 	e := engine.New(web)
-	if err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		log.Fatal(err)
 	}
 	res := e.Results[site.Spec.Host]

@@ -31,6 +31,7 @@ import (
 	"deepweb/internal/engine"
 	"deepweb/internal/httpx"
 	"deepweb/internal/rescache"
+	"deepweb/internal/resilient"
 	"deepweb/internal/semserv"
 )
 
@@ -72,6 +73,10 @@ type Stats struct {
 	// Cache reports the serving engine's result-cache counters; absent
 	// when no cache is enabled.
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Fetch reports the resilient fetch stack's counters (retries,
+	// timeouts, breaker trips); absent on serving-only engines, which
+	// carry no fetch stack.
+	Fetch *FetchStats `json:"fetch,omitempty"`
 	// LastReload is when the serving engine was last swapped
 	// (RFC3339Nano; empty = never reloaded since startup).
 	LastReload string `json:"last_reload,omitempty"`
@@ -86,6 +91,14 @@ type Stats struct {
 type CacheStats struct {
 	rescache.Stats
 	HitRatio float64 `json:"hit_ratio"`
+}
+
+// FetchStats is the fetch stack's counter block on the wire: the
+// transport-wide totals, plus any host whose circuit breaker is not
+// closed right now — the operator's shortlist of misbehaving origins.
+type FetchStats struct {
+	resilient.Stats
+	OpenBreakers map[string]string `json:"open_breakers,omitempty"`
 }
 
 // Options wires a Server to the process's capabilities. Nil fields
@@ -275,6 +288,18 @@ func (s *Server) stats() Stats {
 		st.Generation = e.Generation
 		if cs, ok := e.CacheStats(); ok {
 			st.Cache = &CacheStats{Stats: cs, HitRatio: cs.HitRatio()}
+		}
+		if total, hosts, ok := e.FetchStats(); ok {
+			fs := &FetchStats{Stats: total}
+			for host, hs := range hosts {
+				if hs.Breaker != "closed" {
+					if fs.OpenBreakers == nil {
+						fs.OpenBreakers = make(map[string]string)
+					}
+					fs.OpenBreakers[host] = hs.Breaker
+				}
+			}
+			st.Fetch = fs
 		}
 	}
 	if s.opts.Semantics != nil {

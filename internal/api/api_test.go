@@ -258,6 +258,14 @@ func TestDerivedStats(t *testing.T) {
 	if st.Docs != 3 || st.Deleted != 1 || st.TombstoneRatio != 0.25 || st.Tables != 1 {
 		t.Errorf("derived stats = %+v", st)
 	}
+	// An engine with a fetch stack serves the fetch block (all-zero
+	// counters here: nothing has been fetched, no breaker is open).
+	if st.Fetch == nil {
+		t.Fatal("stats omit the fetch block for an engine with a fetch stack")
+	}
+	if st.Fetch.Attempts != 0 || len(st.Fetch.OpenBreakers) != 0 {
+		t.Errorf("idle fetch block = %+v", st.Fetch)
+	}
 }
 
 // The full pagination contract over HTTP: k echoes clamped, offsets

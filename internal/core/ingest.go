@@ -87,7 +87,7 @@ func (st *IngestStats) ingestOne(ctx context.Context, f *webx.Fetcher, ix DocSin
 		if ctx.Err() != nil || ix.Has(cur) {
 			return
 		}
-		page, err := f.Get(cur)
+		page, err := f.GetCtx(ctx, cur)
 		if err != nil || page.Status != 200 {
 			st.Errors++
 			return

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"testing"
 
 	"deepweb/internal/index"
+	"deepweb/internal/resilient"
 	"deepweb/internal/webgen"
 	"deepweb/internal/webx"
 )
@@ -134,15 +136,19 @@ func TestSurfaceSiteNoFormIsPostOnly(t *testing.T) {
 }
 
 func TestSurfaceSiteUnreachableHomepage(t *testing.T) {
+	// A 404 homepage is a definitive answer: the surfacer must fail the
+	// site with a permanent-classified error (not parse the error page
+	// as a form-less homepage, and not call it transient — nothing will
+	// heal a host that does not exist).
 	web := webgen.NewWeb()
 	fetch := webx.NewFetcher(web)
 	s := NewSurfacer(fetch, DefaultConfig())
-	res, err := s.SurfaceSite(context.Background(), "http://nosuch.example/")
-	if err != nil {
-		t.Fatalf("404 homepage should not error: %v", err)
+	_, err := s.SurfaceSite(context.Background(), "http://nosuch.example/")
+	if err == nil {
+		t.Fatal("404 homepage should fail the site")
 	}
-	if len(res.URLs) != 0 {
-		t.Error("URLs from a dead site")
+	if !errors.Is(err, resilient.ErrPermanent) {
+		t.Fatalf("404 homepage err = %v, want permanent classification", err)
 	}
 }
 

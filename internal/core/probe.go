@@ -74,7 +74,7 @@ func (p *prober) probe(f *form.Form, b form.Binding) (observation, error) {
 		return observation{}, errUnprobeable
 	}
 	p.used++
-	page, err := p.fetch.Get(u)
+	page, err := p.fetch.GetCtx(p.ctx, u)
 	if err != nil {
 		return observation{}, fmt.Errorf("core: probe: %w", err)
 	}

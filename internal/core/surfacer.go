@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"deepweb/internal/form"
+	"deepweb/internal/resilient"
 	"deepweb/internal/textutil"
 	"deepweb/internal/webx"
 )
@@ -137,9 +138,19 @@ func (s *Surfacer) SurfaceSite(ctx context.Context, homeURL string) (*Result, er
 // when only POST forms exist. The collected page texts double as the
 // seed corpus.
 func (s *Surfacer) findForm(homeURL string) (*form.Form, []string, error) {
-	home, err := s.Fetch.Get(homeURL)
+	home, err := s.Fetch.GetCtx(s.prober.ctx, homeURL)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: fetch homepage: %w", err)
+	}
+	if home.Status != 200 {
+		// A failing homepage condemns the whole site for this pass, and
+		// its class decides what happens next: a transient status (5xx,
+		// 429) leaves the site unrecorded so the next refresh heals it;
+		// a permanent one records a definitive failure. Without this
+		// check a 503 error page would be parsed as a form-less homepage
+		// and committed as an empty-but-done site.
+		return nil, nil, fmt.Errorf("core: fetch homepage: %w",
+			resilient.StatusError(mustParse(homeURL).Host, home.Status))
 	}
 	s.prober.used++
 	texts := []string{home.Text()}
@@ -151,7 +162,7 @@ func (s *Surfacer) findForm(homeURL string) (*form.Form, []string, error) {
 		if s.prober.used >= s.prober.budget || s.prober.ctx.Err() != nil {
 			break
 		}
-		p, err := s.Fetch.Get(l)
+		p, err := s.Fetch.GetCtx(s.prober.ctx, l)
 		if err != nil || p.Status != 200 {
 			continue
 		}

@@ -174,7 +174,7 @@ func TestSurfaceCanceledContextAborts(t *testing.T) {
 	}))
 
 	start := time.Now()
-	err = e.Surface(ctx, SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3})
+	_, err = e.Surface(ctx, SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3})
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Surface returned %v, want context.Canceled", err)
@@ -210,14 +210,14 @@ func TestSearchCanceledContext(t *testing.T) {
 // web's per-host request counters.
 func TestRefreshPerHostCap(t *testing.T) {
 	const cap = 40
-	run := func(capped bool) (*Engine, map[string]int, RefreshStats) {
+	run := func(capped bool) (*Engine, map[string]int, RefreshResponse) {
 		e, err := Build(webgen.WorldConfig{Seed: 7, SitesPerDom: 1, RowsPerSite: 60})
 		if err != nil {
 			t.Fatal(err)
 		}
 		e.Workers = 4
 		e.IndexSurfaceWeb()
-		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+		if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			t.Fatal(err)
 		}
 		webgen.Churn(e.Web, 8, 99)
@@ -302,7 +302,7 @@ func TestRefreshBudgetFraction(t *testing.T) {
 	}
 	e.Workers = 4
 	cfg := core.DefaultConfig()
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: cfg, FollowNext: 3}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: cfg, FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	webgen.Churn(e.Web, 8, 3)
@@ -377,7 +377,7 @@ func TestRefreshFiltered(t *testing.T) {
 	}
 	e.Workers = 4
 	filt := core.IngestFilter{MinItems: 1, MaxItems: 3}
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0, Filter: filt}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0, Filter: filt}); err != nil {
 		t.Fatal(err)
 	}
 	webgen.Churn(e.Web, 8, 5)

@@ -19,15 +19,18 @@ package engine
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/url"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deepweb/internal/core"
 	"deepweb/internal/coverage"
 	"deepweb/internal/form"
 	"deepweb/internal/index"
 	"deepweb/internal/rescache"
+	"deepweb/internal/resilient"
 	"deepweb/internal/textutil"
 	"deepweb/internal/webgen"
 	"deepweb/internal/webx"
@@ -81,7 +84,20 @@ type Engine struct {
 	// minted before the mutation.
 	cache *rescache.Cache[SearchResponse]
 	epoch atomic.Uint64
+
+	// base is the transport under the resilient layer — the virtual web
+	// itself, or a chaos/proxy wrapper installed with UseTransport. rt
+	// is the resilient retry/breaker transport built over it; every
+	// fetch the engine issues flows through rt, and its per-host
+	// counters are what per-site outcome reports are computed from.
+	base  http.RoundTripper
+	rt    *resilient.Transport
+	ropts resilient.Options
 }
+
+// DefaultFetchTimeout bounds each logical fetch (all attempts plus
+// backoff) issued by an engine's fetcher.
+const DefaultFetchTimeout = 30 * time.Second
 
 // DefaultCompactRatio is the CompactRatio new engines start with.
 const DefaultCompactRatio = 0.5
@@ -95,7 +111,7 @@ var DefaultWorkers = 1
 func New(web *webgen.Web) *Engine {
 	e := newEngine()
 	e.Web = web
-	e.Fetch = webx.NewFetcher(web)
+	e.UseTransport(web)
 	return e
 }
 
@@ -110,7 +126,50 @@ func newEngine() *Engine {
 		SiteSignatures:  map[string]textutil.Signature{},
 		CompactRatio:    DefaultCompactRatio,
 		hostDocs:        map[string][]int{},
+		ropts:           resilient.Defaults(),
 	}
+}
+
+// UseTransport replaces the transport fetch traffic flows through —
+// normally the virtual web itself; tests and `deepcrawl -chaos`
+// interpose a webgen.Chaos here — and rebuilds the resilient fetch
+// stack over it.
+func (e *Engine) UseTransport(rt http.RoundTripper) {
+	e.base = rt
+	e.rebuildFetch()
+}
+
+// SetResilience replaces the retry/backoff/breaker options and rebuilds
+// the fetch stack (counters reset). Call before surfacing, not during.
+func (e *Engine) SetResilience(opts resilient.Options) {
+	e.ropts = opts
+	if e.base != nil {
+		e.rebuildFetch()
+	}
+}
+
+func (e *Engine) rebuildFetch() {
+	e.rt = resilient.NewTransport(e.base, e.ropts)
+	e.Fetch = e.newFetcher(e.rt)
+}
+
+// newFetcher builds a fetcher over rt with the engine's per-fetch
+// deadline and body cap applied.
+func (e *Engine) newFetcher(rt http.RoundTripper) *webx.Fetcher {
+	f := webx.NewFetcher(rt)
+	f.Timeout = DefaultFetchTimeout
+	f.MaxBodyBytes = e.ropts.MaxBodyBytes
+	return f
+}
+
+// FetchStats reports the resilient fetch stack's cumulative counters
+// and per-host breaker states; ok is false for a snapshot-only engine
+// that has no fetch stack (Load without a web).
+func (e *Engine) FetchStats() (total resilient.Stats, hosts map[string]resilient.HostStats, ok bool) {
+	if e.rt == nil {
+		return resilient.Stats{}, nil, false
+	}
+	return e.rt.Stats(), e.rt.AllHostStats(), true
 }
 
 // Build generates a world from the config and wraps it.
@@ -159,23 +218,96 @@ type SurfaceRequest struct {
 	Filter core.IngestFilter
 }
 
+// SiteStatus is a surfaced site's outcome class.
+type SiteStatus int
+
+const (
+	// SiteOK: the site surfaced cleanly; its results and signature are
+	// committed.
+	SiteOK SiteStatus = iota
+	// SiteDegraded: the site committed, but some fetches failed even
+	// after retries (partial corpus). Its signature is left unrecorded
+	// so the next Refresh re-drives the whole site and heals it.
+	SiteDegraded
+	// SiteFailedTransient: the site failed with a retryable class of
+	// error (timeouts, 5xx, open circuit); nothing committed, signature
+	// unrecorded — the next Refresh retries it from scratch.
+	SiteFailedTransient
+	// SiteFailedPermanent: the site failed definitively (4xx homepage,
+	// oversized body); retrying cannot help.
+	SiteFailedPermanent
+)
+
+func (s SiteStatus) String() string {
+	switch s {
+	case SiteDegraded:
+		return "degraded"
+	case SiteFailedTransient:
+		return "failed-transient"
+	case SiteFailedPermanent:
+		return "failed-permanent"
+	default:
+		return "ok"
+	}
+}
+
+// SiteReport is one site's per-pass outcome: its status plus the fetch
+// stack's counter deltas attributed to it (the engine's one-site =
+// one-worker = one-host contract makes the attribution exact).
+type SiteReport struct {
+	Host              string     `json:"host"`
+	Status            SiteStatus `json:"-"`
+	StatusText        string     `json:"status"`
+	Attempts          uint64     `json:"attempts"`
+	Retries           uint64     `json:"retries"`
+	Timeouts          uint64     `json:"timeouts,omitempty"`
+	TransientFailures uint64     `json:"transient_failures,omitempty"`
+	PermanentFailures uint64     `json:"permanent_failures,omitempty"`
+	Err               string     `json:"error,omitempty"`
+}
+
+// SurfaceResponse reports a Surface pass: per-site outcomes keyed by
+// host, and a top-level Degraded flag set when any site is not OK.
+type SurfaceResponse struct {
+	Sites    map[string]SiteReport
+	Degraded bool
+}
+
+// anyNotOK reports whether any site's outcome calls for attention.
+func anyNotOK(reports map[string]SiteReport) bool {
+	for _, r := range reports {
+		if r.Status != SiteOK {
+			return true
+		}
+	}
+	return false
+}
+
 // Surface runs the surfacing pipeline over every site and ingests the
-// emitted URLs, attributing each document to its site's form. The
-// context cancels the run: in-flight sites abort between probe
-// submissions, unstarted sites are skipped, the ordered-commit loop
-// drains cleanly, and the context's error is returned. Sites already
-// committed stay committed — cancellation never corrupts the index.
-func (e *Engine) Surface(ctx context.Context, req SurfaceRequest) error {
+// emitted URLs, attributing each document to its site's form.
+//
+// Failure semantics: a site that fails is *reported*, not fatal — the
+// pass continues, the response carries per-site outcomes, and the
+// returned error is nil. Transiently-failed and degraded sites leave no
+// signature, so the next Refresh re-drives and heals them. Only the
+// context canceling the run returns an error: in-flight sites abort
+// between probe submissions, unstarted sites are skipped, the
+// ordered-commit loop drains cleanly, and the context's error is
+// returned. Sites already committed stay committed — cancellation never
+// corrupts the index.
+func (e *Engine) Surface(ctx context.Context, req SurfaceRequest) (SurfaceResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return e.surfacePipeline(ctx, e.Web.Sites(), pipelineRun{
+	reports, err := e.surfacePipeline(ctx, e.Web.Sites(), pipelineRun{
 		cfg:        req.Config,
 		followNext: req.FollowNext,
 		filt:       req.Filter,
 		fetch:      e.Fetch,
+		rt:         e.rt,
 		commit:     e.commitOutcome,
 	})
+	return SurfaceResponse{Sites: reports, Degraded: anyNotOK(reports)}, err
 }
 
 // siteOutcome is everything one site's pipeline pass produced, parked
@@ -188,45 +320,54 @@ type siteOutcome struct {
 	stats    core.IngestStats
 	sig      textutil.Signature
 	requests int
+	report   SiteReport
 	err      error
 }
 
 // pipelineRun is one surfacing pass's wiring: the analysis config, the
 // ingestion knobs, the fetcher the workers issue traffic through (the
-// engine's own, or a politeness-capped wrapper during Refresh), and
-// the commit hook the ordered drain invokes per successful site.
+// engine's own, or a politeness-capped wrapper during Refresh), the
+// resilient transport under that fetcher (for per-site counter deltas),
+// and the commit hook the ordered drain invokes per successful site.
 type pipelineRun struct {
 	cfg        core.Config
 	followNext int
 	filt       core.IngestFilter
 	fetch      *webx.Fetcher
+	rt         *resilient.Transport
 	commit     func(*siteOutcome)
 }
 
 // surfacePipeline runs the staged pipeline over the given sites and
 // drains outcomes through run.commit at the single ordered commit
-// point.
+// point, returning a per-site outcome report keyed by host.
 //
 // Concurrency contract: a site is handled end-to-end by one worker, and
 // every request it issues targets the site's own host, so per-host
-// request counts are exact. Fetched documents buffer in a stagedSink;
-// the commit loop drains outcomes in site order, assigning doc ids and
-// inserting postings. On error or context cancellation, sites earlier
-// in the order are still committed (matching sequential semantics) and
-// the first error in site order is returned. Request metering is
-// recorded for every site that did work — including the failing site
-// itself and any site that completed before cancellation reached it —
-// because that analysis traffic really hit the hosts (§3.2
-// accounting); only the metering of an aborted run depends on worker
-// timing, never committed results.
+// request counts — and the resilient transport's per-host counter
+// deltas — are exact. Fetched documents buffer in a stagedSink; the
+// commit loop drains outcomes in site order, assigning doc ids and
+// inserting postings.
+//
+// Failure semantics: a failed site is classified (transient vs.
+// permanent) and reported, and the pass continues — one bad site must
+// not shrink the rest of the corpus. A transiently-failed or degraded
+// site leaves no signature, so the next Refresh sees it as changed and
+// re-drives it (self-healing). Only run-context cancellation aborts:
+// sites earlier in the order are still committed (matching sequential
+// semantics) and the context's error is returned. Request metering is
+// recorded for every site that did work — the traffic really hit the
+// hosts (§3.2 accounting) — but only committed results are ever
+// worker-timing-independent on an aborted run.
 //
 // Cancellation drains cleanly: every dispatched job yields exactly one
 // outcome (a canceled worker reports ctx.Err() instead of surfacing),
 // so the ordered loop always receives len(sites) outcomes and the
 // WaitGroup always settles — no goroutine leaks, no deadlock.
-func (e *Engine) surfacePipeline(ctx context.Context, sites []*webgen.Site, run pipelineRun) error {
+func (e *Engine) surfacePipeline(ctx context.Context, sites []*webgen.Site, run pipelineRun) (map[string]SiteReport, error) {
+	reports := make(map[string]SiteReport, len(sites))
 	if len(sites) == 0 {
-		return ctx.Err()
+		return reports, ctx.Err()
 	}
 	workers := e.Workers
 	if workers < 1 {
@@ -238,8 +379,6 @@ func (e *Engine) surfacePipeline(ctx context.Context, sites []*webgen.Site, run 
 
 	jobs := make(chan int)
 	outcomes := make(chan *siteOutcome, len(sites))
-	quit := make(chan struct{})
-	var quitOnce sync.Once
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -251,14 +390,9 @@ func (e *Engine) surfacePipeline(ctx context.Context, sites []*webgen.Site, run 
 					outcomes <- &siteOutcome{pos: pos, host: sites[pos].Spec.Host, err: err}
 					continue
 				}
-				select {
-				case <-quit:
-					outcomes <- &siteOutcome{pos: pos, host: sites[pos].Spec.Host, err: errCancelled}
-				default:
-					out := e.surfaceOne(ctx, sites[pos], run)
-					out.pos = pos
-					outcomes <- out
-				}
+				out := e.surfaceOne(ctx, sites[pos], run)
+				out.pos = pos
+				outcomes <- out
 			}
 		}()
 	}
@@ -286,15 +420,41 @@ func (e *Engine) surfacePipeline(ctx context.Context, sites []*webgen.Site, run 
 				continue
 			}
 			if out.err != nil {
-				firstErr = fmt.Errorf("surface %s: %w", out.host, out.err)
-				quitOnce.Do(func() { close(quit) })
+				// Discriminate abort from failure via the run context,
+				// not the error value: per-fetch timeouts also surface
+				// deadline errors, but only the run context ending
+				// means the caller wants out.
+				if ctx.Err() != nil {
+					firstErr = fmt.Errorf("surface %s: %w", out.host, out.err)
+					continue
+				}
+				rep := out.report
+				rep.Err = out.err.Error()
+				if resilient.ClassOf(out.err) == resilient.ClassPermanent {
+					rep.Status = SiteFailedPermanent
+				} else {
+					rep.Status = SiteFailedTransient
+					// Whatever signature a prior pass recorded no longer
+					// reflects an intact corpus entry; drop it so the
+					// next Refresh re-drives this site.
+					delete(e.SiteSignatures, out.host)
+				}
+				rep.StatusText = rep.Status.String()
+				reports[out.host] = rep
 				continue
 			}
 			run.commit(out)
+			if out.report.Status == SiteDegraded {
+				// Committed, but with fetch losses: leave the signature
+				// unrecorded so the next Refresh heals the gaps.
+				delete(e.SiteSignatures, out.host)
+			}
+			out.report.StatusText = out.report.Status.String()
+			reports[out.host] = out.report
 		}
 	}
 	wg.Wait()
-	return firstErr
+	return reports, firstErr
 }
 
 // commitOutcome is the standard bookkeeping for one successfully
@@ -312,21 +472,35 @@ func (e *Engine) commitOutcome(out *siteOutcome) {
 	e.bumpEpoch()
 }
 
-// errCancelled marks sites skipped after an earlier site (in commit
-// order) failed; it is never returned to callers.
-var errCancelled = fmt.Errorf("engine: cancelled")
-
 // surfaceOne runs the per-site stages: discovery + form analysis +
 // probing + URL generation (core.Surfacer), then fetch of every emitted
 // URL into a buffering sink. No shared index state is written. The
-// request delta is measured even on failure — the traffic was issued.
+// request delta is measured even on failure — the traffic was issued —
+// and the resilient transport's per-host counter delta becomes the
+// site's outcome report.
 func (e *Engine) surfaceOne(ctx context.Context, site *webgen.Site, run pipelineRun) *siteOutcome {
 	host := site.Spec.Host
 	before := e.Web.Requests(host)
+	var fsBefore resilient.HostStats
+	if run.rt != nil {
+		fsBefore = run.rt.HostStats(host)
+	}
+	mkReport := func() SiteReport {
+		rep := SiteReport{Host: host}
+		if run.rt != nil {
+			fs := run.rt.HostStats(host)
+			rep.Attempts = fs.Attempts - fsBefore.Attempts
+			rep.Retries = fs.Retries - fsBefore.Retries
+			rep.Timeouts = fs.Timeouts - fsBefore.Timeouts
+			rep.TransientFailures = fs.TransientFailures - fsBefore.TransientFailures
+			rep.PermanentFailures = fs.PermanentFailures - fsBefore.PermanentFailures
+		}
+		return rep
+	}
 	s := core.NewSurfacer(run.fetch, run.cfg)
 	res, err := s.SurfaceSite(ctx, site.HomeURL())
 	if err != nil {
-		return &siteOutcome{host: host, err: err, requests: e.Web.Requests(host) - before}
+		return &siteOutcome{host: host, err: err, requests: e.Web.Requests(host) - before, report: mkReport()}
 	}
 	source := host
 	if res.Analysis.Form != nil {
@@ -339,7 +513,13 @@ func (e *Engine) surfaceOne(ctx context.Context, site *webgen.Site, run pipeline
 	// real); the pipeline must not — a site whose fetches were cut
 	// short may not be committed as complete.
 	if err := ctx.Err(); err != nil {
-		return &siteOutcome{host: host, err: err, requests: requests}
+		return &siteOutcome{host: host, err: err, requests: requests, report: mkReport()}
+	}
+	rep := mkReport()
+	if rep.TransientFailures > 0 {
+		// Some logical fetches failed even after retries: the committed
+		// corpus for this site has holes.
+		rep.Status = SiteDegraded
 	}
 	return &siteOutcome{
 		host:     host,
@@ -348,6 +528,7 @@ func (e *Engine) surfaceOne(ctx context.Context, site *webgen.Site, run pipeline
 		stats:    stats,
 		sig:      site.TableSignature(),
 		requests: requests,
+		report:   rep,
 	}
 }
 

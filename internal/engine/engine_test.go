@@ -26,7 +26,7 @@ func buildEngine(t testing.TB, workers int) *Engine {
 	if n := e.IndexSurfaceWeb(); n == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -139,7 +139,7 @@ func TestSurfaceWorkerClamping(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.Workers = workers
-		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
+		if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if len(e.Results) != len(e.Web.Sites()) {
@@ -152,7 +152,7 @@ func TestSurfaceWorkerClamping(t *testing.T) {
 func TestSurfaceEmptyWorld(t *testing.T) {
 	e := New(webgen.NewWeb())
 	e.Workers = 4
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 		t.Fatal(err)
 	}
 	if e.Index.Len() != 0 {
@@ -170,7 +170,7 @@ func TestSurfaceFilteredRejects(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.Workers = 4
-		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0, Filter: filt}); err != nil {
+		if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0, Filter: filt}); err != nil {
 			t.Fatal(err)
 		}
 		for _, st := range e.IngestStats {
@@ -193,7 +193,8 @@ func TestSurfaceFilteredRejects(t *testing.T) {
 // A site that fails mid-surfacing still has its analysis traffic
 // metered: the requests were really issued against the host (§3.2
 // accounting), so OfflineRequests must record them even though the
-// site commits no result.
+// site commits no result. The failure no longer aborts the pass — it
+// is classified into the per-site report and the response is Degraded.
 func TestOfflineRequestsRecordedForFailedSite(t *testing.T) {
 	e, err := Build(webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 20})
 	if err != nil {
@@ -203,17 +204,40 @@ func TestOfflineRequestsRecordedForFailedSite(t *testing.T) {
 	// no other site's outcome depends on cancellation timing.
 	bad := e.Web.Sites()[0].Spec.Host
 	// A redirect loop makes the http.Client itself error (10-hop cap),
-	// the only way a virtual-web fetch fails.
+	// the only way a fault-free virtual-web fetch fails.
 	e.Web.AddHandler(bad, http.RedirectHandler("http://"+bad+"/", http.StatusFound))
 	e.Workers = 2
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err == nil {
-		t.Fatal("surfacing a redirect-looping site succeeded")
+	resp, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0})
+	if err != nil {
+		t.Fatalf("partial failure aborted the pass: %v", err)
+	}
+	rep, ok := resp.Sites[bad]
+	if !ok {
+		t.Fatalf("no report for failed site %s", bad)
+	}
+	if rep.Status != SiteFailedTransient {
+		t.Fatalf("failed site %s reported %s, want %s", bad, rep.Status, SiteFailedTransient)
+	}
+	if rep.Err == "" {
+		t.Errorf("failed site's report carries no error text")
+	}
+	if !resp.Degraded {
+		t.Error("response with a failed site is not marked Degraded")
 	}
 	if got := e.OfflineRequests[bad]; got == 0 {
 		t.Fatalf("failed site %s issued requests but metered 0", bad)
 	}
 	if _, committed := e.Results[bad]; committed {
 		t.Fatalf("failed site %s committed a result", bad)
+	}
+	// The other sites must have surfaced normally around the failure.
+	if len(e.Results) == 0 {
+		t.Fatal("no healthy site committed around the failure")
+	}
+	for host, rep := range resp.Sites {
+		if host != bad && rep.Status != SiteOK {
+			t.Errorf("healthy site %s reported %s", host, rep.Status)
+		}
 	}
 }
 
@@ -262,7 +286,7 @@ func ExampleEngine_Surface() {
 	}
 	e.Workers = 4
 	e.IndexSurfaceWeb()
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 1}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 1}); err != nil {
 		panic(err)
 	}
 	fmt.Println(len(e.Results) == len(e.Web.Sites()))

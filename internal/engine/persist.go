@@ -9,7 +9,6 @@ import (
 	"deepweb/internal/store"
 	"deepweb/internal/textutil"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webx"
 )
 
 // Persistence: Save writes the engine's index (documents, postings,
@@ -33,6 +32,13 @@ import (
 func (e *Engine) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
+	}
+	// Crash hygiene: a writer that died mid-Save leaves *.tmp files
+	// behind (segments are written to a temp name, then renamed).
+	// Sweep them before writing so they cannot accumulate or be
+	// mistaken for live data.
+	if err := store.CleanTmp(dir); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
 	}
 	ix := e.Index
 	docs, lens, dead := ix.ExportDocs()
@@ -140,7 +146,7 @@ func LoadWith(web *webgen.Web, dir string) (*Engine, error) {
 		return nil, err
 	}
 	e.Web = web
-	e.Fetch = webx.NewFetcher(web)
+	e.UseTransport(web)
 	return e, nil
 }
 

@@ -94,7 +94,7 @@ func BenchmarkColdSurface(b *testing.B) {
 		e := New(web)
 		e.Workers = 4
 		e.IndexSurfaceWeb()
-		if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+		if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			b.Fatal(err)
 		}
 		docs = e.Index.Len()

@@ -30,7 +30,7 @@ func surfacedEngine(t testing.TB, shards int) *Engine {
 	if e.IndexSurfaceWeb() == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -300,5 +300,26 @@ func TestSemanticsSaveLoad(t *testing.T) {
 	}
 	if got.Server() == nil {
 		t.Fatal("loaded store has no server")
+	}
+}
+
+// Save sweeps a crashed predecessor's *.tmp droppings from the target
+// directory before writing, so they can neither accumulate nor be
+// mistaken for live segments.
+func TestSaveSweepsStaleTmp(t *testing.T) {
+	e := surfacedEngine(t, 4)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "docs.seg.999.tmp")
+	if err := os.WriteFile(stale, []byte("crashed writer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale tmp survived Save: %v", err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Errorf("snapshot unreadable after sweep: %v", err)
 	}
 }

@@ -10,8 +10,8 @@ import (
 
 	"deepweb/internal/core"
 	"deepweb/internal/index"
+	"deepweb/internal/resilient"
 	"deepweb/internal/webgen"
-	"deepweb/internal/webx"
 )
 
 // Refresh: the freshness half of the paper's economics. Surfacing is
@@ -41,6 +41,18 @@ type RefreshStats struct {
 	DocsAdded    int // documents newly committed
 	SurfacePages int // previously crawled surface-web pages refetched
 	Compacted    bool
+}
+
+// RefreshResponse reports one Refresh pass: the aggregate stats, the
+// per-site outcomes of the re-surfaced (changed) sites, and a Degraded
+// flag set when any of them is not OK. Failed and degraded sites keep
+// no signature, so the next Refresh re-drives them — calling Refresh
+// until Degraded is false converges the index to the fault-free corpus
+// as long as the faults themselves subside.
+type RefreshResponse struct {
+	RefreshStats
+	Sites    map[string]SiteReport
+	Degraded bool
 }
 
 // RefreshRequest configures one Refresh pass. Config and FollowNext
@@ -84,17 +96,18 @@ type RefreshRequest struct {
 // or attached via LoadWith); a Load-ed engine without one cannot
 // refresh. The context cancels the pass exactly as it cancels Surface:
 // committed sites stay committed, and ctx.Err() is returned.
-func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats, error) {
+func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var st RefreshStats
+	var resp RefreshResponse
+	st := &resp.RefreshStats
 	if e.Web == nil {
-		return st, fmt.Errorf("engine: refresh: no web attached (use LoadWith)")
+		return resp, fmt.Errorf("engine: refresh: no web attached (use LoadWith)")
 	}
 	cfg := req.Config
 	if req.BudgetFraction < 0 || req.BudgetFraction > 1 {
-		return st, fmt.Errorf("engine: refresh: BudgetFraction %v outside [0, 1] (0 = full budget)", req.BudgetFraction)
+		return resp, fmt.Errorf("engine: refresh: BudgetFraction %v outside [0, 1] (0 = full budget)", req.BudgetFraction)
 	}
 	if req.BudgetFraction > 0 {
 		if cfg.ProbeBudget = int(float64(cfg.ProbeBudget) * req.BudgetFraction); cfg.ProbeBudget < 1 {
@@ -102,15 +115,22 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 		}
 	}
 	fetch := e.Fetch
+	runRT := e.rt
 	var capped *hostCapTransport
 	if req.PerHostCap > 0 {
+		// The cap sits *under* the resilient layer, so retries count
+		// against it: the cap bounds real request pressure on the host,
+		// and a retry is real pressure. Its locally-served 429s carry
+		// NoRetryHeader, so the retry loop hands them straight back
+		// instead of backing off against our own politeness limiter.
 		capped = &hostCapTransport{
-			rt:      e.Web,
+			rt:      e.base,
 			cap:     req.PerHostCap,
 			n:       map[string]int{},
 			refused: map[string]bool{},
 		}
-		fetch = webx.NewFetcher(capped)
+		runRT = resilient.NewTransport(capped, e.ropts)
+		fetch = e.newFetcher(runRT)
 	}
 	var want map[string]bool
 	if req.Hosts != nil {
@@ -135,7 +155,7 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 		changed = append(changed, site)
 	}
 	if len(changed) == 0 {
-		return st, nil
+		return resp, nil
 	}
 	st.SitesChanged = len(changed)
 
@@ -172,11 +192,12 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 	// crawl indexes them ahead of surfacing. Refetches go through the
 	// same (possibly capped) fetcher as the workers' traffic, so
 	// PerHostCap covers every request of the pass.
-	err := e.surfacePipeline(ctx, changed, pipelineRun{
+	reports, err := e.surfacePipeline(ctx, changed, pipelineRun{
 		cfg:        cfg,
 		followNext: req.FollowNext,
 		filt:       req.Filter,
 		fetch:      fetch,
+		rt:         runRT,
 		commit: func(out *siteOutcome) {
 			oldSurface := e.hostDocs[out.host]
 			e.hostDocs[out.host] = nil
@@ -185,9 +206,19 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 				if e.Index.Delete(id) {
 					st.DocsDeleted++
 				}
-				page, err := fetch.Get(u)
-				if err != nil || page.Status != 200 {
-					continue // the page vanished; its tombstone stands
+				page, ferr := fetch.GetCtx(ctx, u)
+				if ferr != nil || page.Status != 200 {
+					// Distinguish "the page is gone" (a definitive
+					// non-retryable status: its tombstone stands) from
+					// "the fetch failed transiently" — the latter must
+					// mark the site degraded, or a flaky refetch would
+					// silently lose a surface page the world still has.
+					transientLoss := ferr != nil && resilient.ClassOf(ferr) == resilient.ClassTransient ||
+						ferr == nil && resilient.RetryableStatus(page.Status)
+					if transientLoss && out.report.Status == SiteOK {
+						out.report.Status = SiteDegraded
+					}
+					continue
 				}
 				if nid, added := e.Index.Add(index.Doc{URL: u, Title: page.Title(), Text: page.Text()}); added {
 					e.trackDoc(u, nid)
@@ -212,15 +243,17 @@ func (e *Engine) Refresh(ctx context.Context, req RefreshRequest) (RefreshStats,
 			}
 		},
 	})
+	resp.Sites = reports
+	resp.Degraded = anyNotOK(reports)
 	if err != nil {
-		return st, err
+		return resp, err
 	}
 
 	if e.CompactRatio > 0 && e.Index.TombstoneRatio() >= e.CompactRatio {
 		e.Compact()
 		st.Compacted = true
 	}
-	return st, nil
+	return resp, nil
 }
 
 // Compact compacts the index (dropping tombstones and renumbering doc
@@ -286,7 +319,7 @@ func (t *hostCapTransport) RoundTrip(req *http.Request) (*http.Response, error) 
 			Proto:      "HTTP/1.1",
 			ProtoMajor: 1,
 			ProtoMinor: 1,
-			Header:     http.Header{},
+			Header:     http.Header{resilient.NoRetryHeader: []string{"politeness-cap"}},
 			Body:       io.NopCloser(strings.NewReader("per-host refresh cap reached")),
 			Request:    req,
 		}, nil

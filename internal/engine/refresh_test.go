@@ -45,7 +45,7 @@ func freshEngine(t *testing.T, shards int) *Engine {
 	if e.IndexSurfaceWeb() == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
-	if err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -116,7 +116,7 @@ func TestRefreshMatchesFromScratch(t *testing.T) {
 		if scratch.IndexSurfaceWeb() == 0 {
 			t.Fatal("surface-web crawl indexed nothing")
 		}
-		if err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+		if _, err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			t.Fatal(err)
 		}
 
@@ -243,7 +243,7 @@ func TestLoadWithRefreshAgainstSnapshot(t *testing.T) {
 	scratch.Workers = 4
 	churnSubset(scratch.Web, 4242)
 	scratch.IndexSurfaceWeb()
-	if err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -304,9 +304,18 @@ func TestRefreshFailureThenRetryConverges(t *testing.T) {
 	webgen.ChurnSite(site, 6, rng)
 
 	// Poison the churned host so its re-surfacing fails mid-refresh.
+	// The failure is contained: the pass completes, classifying the
+	// site as transiently failed in the per-site report.
 	e.Web.AddHandler(host, http.RedirectHandler("http://"+host+"/", http.StatusFound))
-	if _, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3}); err == nil {
-		t.Fatal("refresh of a redirect-looping site succeeded")
+	broken, err := e.Refresh(context.Background(), RefreshRequest{Config: core.DefaultConfig(), FollowNext: 3})
+	if err != nil {
+		t.Fatalf("partial refresh failure aborted the pass: %v", err)
+	}
+	if rep := broken.Sites[host]; rep.Status != SiteFailedTransient {
+		t.Fatalf("poisoned site reported %s, want %s", rep.Status, SiteFailedTransient)
+	}
+	if !broken.Degraded {
+		t.Error("refresh with a failed site is not marked Degraded")
 	}
 	// Surface-web pages of the failed site must still be live.
 	if !e.Index.Has("http://" + host + "/") {
@@ -332,7 +341,7 @@ func TestRefreshFailureThenRetryConverges(t *testing.T) {
 	scratch.Workers = 4
 	webgen.ChurnSite(scratch.Web.Sites()[0], 6, rand.New(rand.NewSource(55)))
 	scratch.IndexSurfaceWeb()
-	if err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
 	e.Compact()

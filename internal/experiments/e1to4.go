@@ -85,7 +85,7 @@ func E2SiteLoad(seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
 		return E2Report{}, err
 	}
 	w.IndexSurfaceWeb()
-	if err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	if _, err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		return E2Report{}, err
 	}
 	var rep E2Report
@@ -156,7 +156,7 @@ func E3Fortuitous(seed int64, rows int) (E3Report, error) {
 		return E3Report{}, err
 	}
 	w.IndexSurfaceWeb()
-	if err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
+	if _, err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 		return E3Report{}, err
 	}
 	m := virtual.NewMediator(w.Fetch)

@@ -291,7 +291,7 @@ func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, err
 	if err != nil {
 		return rep, err
 	}
-	if err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
+	if _, err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 		return rep, err
 	}
 	m := virtual.NewMediator(w.Fetch)

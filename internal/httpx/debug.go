@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"time"
 )
 
 // Debug/profiling surface. pprof never mounts on a serving mux — the
@@ -25,14 +26,26 @@ func DebugMux() *http.ServeMux {
 	return mux
 }
 
+// DebugServer returns the hardened server the pprof listener runs:
+// slow-loris requests are cut off at the header-read stage and idle
+// keep-alive connections are reclaimed, but there is deliberately no
+// write timeout — a 30-second CPU profile
+// (/debug/pprof/profile?seconds=30) streams longer than any sane
+// serving timeout.
+func DebugServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           DebugMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // ServeDebug starts the pprof listener on addr in a goroutine; "" is a
 // no-op, so binaries can pass their -debugaddr flag through unchecked.
 // It also arms mutex and block profiling at sampling rates cheap
 // enough to leave on while load-testing (the contention profiles are
-// the interesting ones for a sharded cache). The listener deliberately
-// skips Server's write timeout: a 30-second CPU profile
-// (/debug/pprof/profile?seconds=30) streams longer than any sane
-// serving timeout.
+// the interesting ones for a sharded cache).
 func ServeDebug(addr string) {
 	if addr == "" {
 		return
@@ -41,7 +54,7 @@ func ServeDebug(addr string) {
 	runtime.SetBlockProfileRate(int(1e6)) // sample blocking events ≥ ~1ms
 	go func() {
 		log.Printf("debug: pprof on http://%s/debug/pprof/", addr)
-		if err := http.ListenAndServe(addr, DebugMux()); err != nil {
+		if err := DebugServer(addr).ListenAndServe(); err != nil {
 			log.Printf("debug: %v", err)
 		}
 	}()

@@ -35,3 +35,22 @@ func TestDebugMuxServesPprof(t *testing.T) {
 		t.Fatalf("goroutine profile: status %d", resp.StatusCode)
 	}
 }
+
+// The debug listener is hardened against slow-loris and idle-connection
+// pileups, but must keep streaming profiles indefinitely (no write
+// timeout).
+func TestDebugServerHardened(t *testing.T) {
+	srv := DebugServer("localhost:0")
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("debug server accepts unbounded header reads")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("debug server never reclaims idle connections")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("debug server write timeout %v would cut off long profile streams", srv.WriteTimeout)
+	}
+	if srv.Handler == nil {
+		t.Fatal("debug server has no handler")
+	}
+}

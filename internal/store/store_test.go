@@ -372,3 +372,59 @@ func TestPostingsTFBoundsChecked(t *testing.T) {
 		}
 	}
 }
+
+// A writer that crashes mid-Save leaves a torn segment only under a
+// .tmp name (final names appear by rename); a reader must also survive
+// the worst case of a torn file under a final name — os.Truncate
+// mid-body — with a wrapped ErrCorrupt, never a panic or silent data.
+func TestTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := DocsPath(dir)
+	if _, err := WriteDocs(path, 2, sampleDocs()); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int64{fi.Size() - 3, headerSize + 2, headerSize, 5, 0} {
+		if err := os.Truncate(path, cut); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadDocs(path); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("docs torn at %d bytes read as %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// CleanTmp sweeps crashed writers' droppings and nothing else.
+func TestCleanTmp(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteDocs(DocsPath(dir), 1, sampleDocs()); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "docs.seg.123.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A directory with a .tmp suffix must be left alone.
+	tmpDir := filepath.Join(dir, "keep.tmp")
+	if err := os.Mkdir(tmpDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := CleanTmp(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale tmp survived the sweep: %v", err)
+	}
+	if _, _, err := ReadDocs(DocsPath(dir)); err != nil {
+		t.Errorf("sweep damaged a live segment: %v", err)
+	}
+	if _, err := os.Stat(tmpDir); err != nil {
+		t.Errorf("sweep removed a directory: %v", err)
+	}
+	if err := CleanTmp(filepath.Join(dir, "no-such-dir")); err != nil {
+		t.Errorf("missing dir is an error: %v", err)
+	}
+}

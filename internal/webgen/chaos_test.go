@@ -1,0 +1,193 @@
+package webgen
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// plainRT answers every request with 200 and a fixed body.
+type plainRT struct{ body string }
+
+func (p *plainRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: 200,
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader(p.body)),
+		Request:    req,
+	}, nil
+}
+
+func chaosGet(t *testing.T, c *Chaos, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.RoundTrip(req)
+}
+
+// outcomeOf reduces a roundtrip to a comparable label.
+func outcomeOf(resp *http.Response, err error) string {
+	if err != nil {
+		return "err"
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.Status + "|" + string(body)
+}
+
+// TestChaosDeterministicAcrossInterleavings pins the property the
+// convergence test relies on: per-host fault streams depend only on
+// (seed, host, per-host request ordinal), never on how requests from
+// different hosts interleave globally.
+func TestChaosDeterministicAcrossInterleavings(t *testing.T) {
+	hosts := []string{"a.example", "b.example", "c.example"}
+	build := func() *Chaos {
+		c := NewChaos(&plainRT{body: "0123456789abcdef"}, 42)
+		for _, h := range hosts {
+			c.SetProfile(h, FaultProfile{
+				FailFirst: 2,
+				FailWith:  Fault503,
+				P:         map[FaultKind]float64{Fault503: 0.3, FaultReset: 0.2, FaultTruncate: 0.2},
+			})
+		}
+		return c
+	}
+
+	const perHost = 20
+	// Order 1: host-major. Order 2: round-robin.
+	run := func(c *Chaos, roundRobin bool) map[string][]string {
+		out := make(map[string][]string)
+		if roundRobin {
+			for i := 0; i < perHost; i++ {
+				for _, h := range hosts {
+					out[h] = append(out[h], outcomeOf(chaosGet(t, c, "http://"+h+"/p")))
+				}
+			}
+		} else {
+			for _, h := range hosts {
+				for i := 0; i < perHost; i++ {
+					out[h] = append(out[h], outcomeOf(chaosGet(t, c, "http://"+h+"/p")))
+				}
+			}
+		}
+		return out
+	}
+
+	seq := run(build(), false)
+	rr := run(build(), true)
+	for _, h := range hosts {
+		for i := range seq[h] {
+			if seq[h][i] != rr[h][i] {
+				t.Fatalf("host %s request %d: outcome %q (host-major) != %q (round-robin)", h, i, seq[h][i], rr[h][i])
+			}
+		}
+	}
+}
+
+func TestChaosFlapRecovers(t *testing.T) {
+	c := NewChaos(&plainRT{body: "fine"}, 1)
+	c.SetProfile("a.example", FaultProfile{FailFirst: 3, FailWith: Fault503})
+	for i := 1; i <= 3; i++ {
+		resp, err := chaosGet(t, c, "http://a.example/")
+		if err != nil || resp.StatusCode != 503 {
+			t.Fatalf("request %d: resp=%v err=%v, want injected 503 during flap window", i, resp, err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := chaosGet(t, c, "http://a.example/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("post-flap request: resp=%v err=%v, want recovery", resp, err)
+	}
+	resp.Body.Close()
+	if got := c.Injected("a.example"); got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+}
+
+func TestChaosFaultKinds(t *testing.T) {
+	inner := &plainRT{body: "0123456789abcdef"}
+
+	kind := func(k FaultKind) *Chaos {
+		c := NewChaos(inner, 7)
+		c.SetProfile("a.example", FaultProfile{FailFirst: 1, FailWith: k})
+		return c
+	}
+
+	if resp, err := chaosGet(t, kind(Fault429), "http://a.example/"); err != nil || resp.StatusCode != 429 {
+		t.Fatalf("429 fault: resp=%v err=%v", resp, err)
+	}
+
+	if _, err := chaosGet(t, kind(FaultTimeout), "http://a.example/"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout fault err = %v, want wrapped deadline-exceeded", err)
+	}
+
+	_, err := chaosGet(t, kind(FaultReset), "http://a.example/")
+	var op *net.OpError
+	if !errors.As(err, &op) {
+		t.Fatalf("reset fault err = %v, want *net.OpError", err)
+	}
+
+	resp, err := chaosGet(t, kind(FaultTruncate), "http://a.example/")
+	if err != nil {
+		t.Fatalf("truncate fault must fail on body read, not on roundtrip: %v", err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body read err = %v, want unexpected EOF", rerr)
+	}
+	if len(body) != 8 {
+		t.Fatalf("truncated body delivered %d bytes of 16, want half", len(body))
+	}
+
+	resp, err = chaosGet(t, kind(FaultGarble), "http://a.example/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("garble fault: resp=%v err=%v, want a clean 200", resp, err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	if string(body) == "0123456789abcdef" || len(body) != 16 {
+		t.Fatalf("garbled body = %q, want same length, different content", body)
+	}
+}
+
+func TestChaosUnprofiledHostPassesThrough(t *testing.T) {
+	c := NewChaos(&plainRT{body: "clean"}, 9)
+	c.SetProfile("a.example", FaultProfile{FailFirst: 100, FailWith: Fault503})
+	for i := 0; i < 5; i++ {
+		resp, err := chaosGet(t, c, "http://other.example/")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("unprofiled host: resp=%v err=%v, want untouched passthrough", resp, err)
+		}
+		resp.Body.Close()
+	}
+	if got := c.Injected("other.example"); got != 0 {
+		t.Fatalf("Injected(other) = %d, want 0", got)
+	}
+}
+
+func TestApplyDefaultProfilesCoversArchetypes(t *testing.T) {
+	hosts := make([]string, 16)
+	for i := range hosts {
+		hosts[i] = string(rune('a'+i)) + ".example"
+	}
+	c := NewChaos(&plainRT{body: "x"}, 3)
+	c.ApplyDefaultProfiles(hosts)
+	profiled := 0
+	for _, h := range hosts {
+		c.mu.Lock()
+		_, ok := c.profiles[h]
+		c.mu.Unlock()
+		if ok {
+			profiled++
+		}
+	}
+	// One host per cycle of 8 (slot 7) stays healthy: 14 of 16 profiled.
+	if profiled != 14 {
+		t.Fatalf("profiled = %d of 16, want 14 (every 8th host healthy)", profiled)
+	}
+}

@@ -8,11 +8,13 @@
 package webx
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"deepweb/internal/htmlx"
 )
@@ -52,6 +54,13 @@ func (p *Page) Forms() []htmlx.FormDecl { return htmlx.ExtractForms(p.Doc) }
 // network; in experiments the virtual internet).
 type Fetcher struct {
 	client *http.Client
+	// Timeout bounds each fetch (0 = none). It composes with the
+	// caller's context: whichever deadline is earlier wins.
+	Timeout time.Duration
+	// MaxBodyBytes caps how much of a response body is read (0 = no
+	// cap). Bodies past the cap fail the fetch rather than silently
+	// truncating the parse.
+	MaxBodyBytes int64
 }
 
 // NewFetcher wraps a transport.
@@ -59,37 +68,73 @@ func NewFetcher(rt http.RoundTripper) *Fetcher {
 	return &Fetcher{client: &http.Client{Transport: rt}}
 }
 
-// Get fetches and parses one page. Non-2xx statuses are returned as
-// pages, not errors: error pages are real observations the surfacer
-// reasons about.
-func (f *Fetcher) Get(u string) (*Page, error) {
-	resp, err := f.client.Get(u)
+// do runs one request: applies the per-fetch timeout, reads the
+// (capped) body, parses.
+func (f *Fetcher) do(req *http.Request, u string, cancel context.CancelFunc) (*Page, error) {
+	defer cancel()
+	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("webx: get %s: %w", u, err)
+		return nil, fmt.Errorf("webx: %s %s: %w", strings.ToLower(req.Method), u, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	var r io.Reader = resp.Body
+	if f.MaxBodyBytes > 0 {
+		r = io.LimitReader(resp.Body, f.MaxBodyBytes+1)
+	}
+	body, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("webx: read %s: %w", u, err)
+	}
+	if f.MaxBodyBytes > 0 && int64(len(body)) > f.MaxBodyBytes {
+		return nil, fmt.Errorf("webx: read %s: body exceeds %d-byte cap", u, f.MaxBodyBytes)
 	}
 	html := string(body)
 	return &Page{URL: u, Status: resp.StatusCode, HTML: html, Doc: htmlx.Parse(html)}, nil
 }
 
-// Post submits a form body and parses the response; the mediator's path
-// to POST forms (the surfacer never calls this).
-func (f *Fetcher) Post(u, body string) (*Page, error) {
-	resp, err := f.client.Post(u, "application/x-www-form-urlencoded", strings.NewReader(body))
+// fetchCtx derives the request context: the caller's ctx, tightened by
+// the per-fetch timeout when one is set.
+func (f *Fetcher) fetchCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(ctx, f.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// GetCtx fetches and parses one page under ctx. Non-2xx statuses are
+// returned as pages, not errors: error pages are real observations the
+// surfacer reasons about.
+func (f *Fetcher) GetCtx(ctx context.Context, u string) (*Page, error) {
+	rctx, cancel := f.fetchCtx(ctx)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
 	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("webx: get %s: %w", u, err)
+	}
+	return f.do(req, u, cancel)
+}
+
+// Get is GetCtx with a background context.
+func (f *Fetcher) Get(u string) (*Page, error) {
+	return f.GetCtx(context.Background(), u)
+}
+
+// PostCtx submits a form body under ctx and parses the response; the
+// mediator's path to POST forms (the surfacer never calls this).
+func (f *Fetcher) PostCtx(ctx context.Context, u, body string) (*Page, error) {
+	rctx, cancel := f.fetchCtx(ctx)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, u, strings.NewReader(body))
+	if err != nil {
+		cancel()
 		return nil, fmt.Errorf("webx: post %s: %w", u, err)
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("webx: read %s: %w", u, err)
-	}
-	html := string(b)
-	return &Page{URL: u, Status: resp.StatusCode, HTML: html, Doc: htmlx.Parse(html)}, nil
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	return f.do(req, u, cancel)
+}
+
+// Post is PostCtx with a background context.
+func (f *Fetcher) Post(u, body string) (*Page, error) {
+	return f.PostCtx(context.Background(), u, body)
 }
 
 // Crawler walks the link graph breadth-first.
