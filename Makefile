@@ -30,11 +30,13 @@ bench:
 	./scripts/bench-hotpath.sh $(BENCH_COUNT)
 
 # load = the CI load-smoke gate: a short Zipfian replay against an
-# in-process engine. Fails on any search error or a cold result cache,
-# and writes the BENCH_load.json artifact (see cmd/loadgen for the
-# HTTP mode that measures a live server instead).
+# in-process engine, with a quarter of the pool carrying typed filter
+# predicates so the structured-query path stays under load coverage.
+# Fails on any search error or a cold result cache, and writes the
+# BENCH_load.json artifact (see cmd/loadgen for the HTTP mode that
+# measures a live server instead).
 load:
-	$(GO) run ./cmd/loadgen -sites 1 -rows 120 -c 4 -duration 3s -min-hit-ratio 0.5 -out BENCH_load.json
+	$(GO) run ./cmd/loadgen -sites 1 -rows 120 -c 4 -duration 3s -filtered 0.25 -min-hit-ratio 0.5 -out BENCH_load.json
 
 # examples = the CI examples-smoke job: every worked example must
 # build and run against the current API.

@@ -12,6 +12,11 @@
 // The server carries production manners (via internal/httpx):
 // read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
 //
+// Deprecated: the pre-/v1 /api/search alias is retired and answers
+// 410 Gone (with the /v1/search replacement in the envelope) unless
+// the server is started with -legacy, which restores the forwarding
+// alias temporarily for unmigrated clients.
+//
 // With -snapshot it skips world building and surfacing entirely and
 // warm-starts from a directory written by `deepcrawl -out`, answering
 // its first query in milliseconds. Startup logs each phase's duration
@@ -56,6 +61,7 @@ import (
 	"deepweb/internal/htmlx"
 	"deepweb/internal/httpx"
 	"deepweb/internal/index"
+	"deepweb/internal/query"
 	"deepweb/internal/webgen"
 )
 
@@ -68,6 +74,7 @@ func main() {
 	annotated := flag.Bool("annotated", false, "rank the HTML page with §5.1 annotations (the /v1 API takes ?annotated=true per request)")
 	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + surfacing)")
 	cacheCap := flag.Int("cache", 4096, "result cache capacity in entries (0 disables caching)")
+	legacy := flag.Bool("legacy", false, "serve the deprecated pre-/v1 /api/search alias (default: answer it 410 Gone)")
 	debugAddr := flag.String("debugaddr", "", "listen address for the pprof debug mux (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 	log.SetFlags(0)
@@ -161,8 +168,14 @@ func main() {
 		},
 	})
 
+	// The HTML page speaks the same in-query DSL as /v1/search: filter
+	// terms typed into the box ("used ford price<10000") become
+	// structured predicates, the rest ranks as keywords.
 	search := func(r *http.Request, q string, k int) []index.Result {
-		resp, err := current.Load().Search(r.Context(), engine.SearchRequest{Query: q, K: k, Annotated: *annotated})
+		text, preds := query.Extract(q)
+		resp, err := current.Load().Search(r.Context(), engine.SearchRequest{
+			Query: text, K: k, Annotated: *annotated, Filters: preds,
+		})
 		if err != nil {
 			return nil
 		}
@@ -172,21 +185,26 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", apiSrv)
 	mux.Handle("/healthz", apiSrv)
-	// Legacy alias: pre-/v1 clients called /api/search. Forward it to
-	// the /v1 handler (the response is the richer /v1 shape) instead of
-	// letting it fall through to the HTML page. The old endpoint ranked
-	// with the -annotated flag, so the alias carries it over unless the
-	// caller asks explicitly.
-	mux.HandleFunc("/api/search", func(rw http.ResponseWriter, r *http.Request) {
-		r2 := r.Clone(r.Context())
-		r2.URL.Path = "/v1/search"
-		if *annotated && r2.URL.Query().Get("annotated") == "" {
-			qs := r2.URL.Query()
-			qs.Set("annotated", "true")
-			r2.URL.RawQuery = qs.Encode()
-		}
-		apiSrv.ServeHTTP(rw, r2)
-	})
+	// The pre-/v1 /api/search alias is retired: by default it answers
+	// 410 Gone pointing at /v1/search. -legacy restores the old
+	// forwarding behavior (the response is the richer /v1 shape; the
+	// old endpoint ranked with the -annotated flag, so the alias
+	// carries it over unless the caller asks explicitly) for clients
+	// that have not migrated yet.
+	if *legacy {
+		mux.HandleFunc("/api/search", func(rw http.ResponseWriter, r *http.Request) {
+			r2 := r.Clone(r.Context())
+			r2.URL.Path = "/v1/search"
+			if *annotated && r2.URL.Query().Get("annotated") == "" {
+				qs := r2.URL.Query()
+				qs.Set("annotated", "true")
+				r2.URL.RawQuery = qs.Encode()
+			}
+			apiSrv.ServeHTTP(rw, r2)
+		})
+	} else {
+		mux.Handle("/api/search", api.LegacyGone(map[string]string{"/api/search": "/v1/search"}))
+	}
 	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		rw.Header().Set("Content-Type", "text/html; charset=utf-8")

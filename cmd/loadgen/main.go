@@ -22,11 +22,17 @@
 // -max-error-rate (default: any error fails) or the observed cache hit
 // ratio falls below -min-hit-ratio.
 //
+// -filtered mixes a fraction of structured queries into the pool: the
+// query strings carry typed predicates in the /v1 in-query DSL
+// ("used ford price<9900"), exercising the filter path end to end in
+// both modes; filter values draw Zipfian from the typed-value ladders.
+//
 // Usage:
 //
 //	loadgen [-target URL | -sites N -rows N [-snapshot DIR]] \
 //	        [-c 8] [-duration 10s] [-zipf 1.1] [-pool 500] [-k 10] \
-//	        [-cache 4096] [-out BENCH_load.json] [-min-hit-ratio 0.5]
+//	        [-filtered 0.25] [-cache 4096] [-out BENCH_load.json] \
+//	        [-min-hit-ratio 0.5]
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 	"deepweb/internal/core"
 	"deepweb/internal/dist"
 	"deepweb/internal/engine"
+	"deepweb/internal/query"
 	"deepweb/internal/webgen"
 	"deepweb/internal/workload"
 )
@@ -63,7 +70,10 @@ type Report struct {
 	DurationSec float64 `json:"duration_sec"`
 	Zipf        float64 `json:"zipf"`
 	PoolSize    int     `json:"pool_size"`
-	K           int     `json:"k"`
+	// FilteredFrac is the -filtered fraction of the pool carrying a
+	// typed predicate (0 for a pure keyword workload).
+	FilteredFrac float64 `json:"filtered_frac"`
+	K            int     `json:"k"`
 
 	Requests  uint64  `json:"requests"`
 	Errors    uint64  `json:"errors"`
@@ -135,6 +145,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to fire queries")
 	zipf := flag.Float64("zipf", 1.1, "Zipf exponent of query popularity (0 = uniform)")
 	poolSize := flag.Int("pool", 500, "distinct queries in the pool")
+	filtered := flag.Float64("filtered", 0, "fraction of the pool carrying a typed filter predicate (0..1; in-query DSL like price<9900)")
 	k := flag.Int("k", 10, "page size per query")
 	qseed := flag.Int64("qseed", 1, "workload seed (query pool + per-worker samplers)")
 
@@ -151,15 +162,18 @@ func main() {
 	if *zipf < 0 {
 		log.Fatal("loadgen: -zipf must be >= 0")
 	}
+	if *filtered < 0 || *filtered > 1 {
+		log.Fatal("loadgen: -filtered must be in [0, 1]")
+	}
 
-	pool := workload.QueryPool(*qseed, *poolSize)
+	pool := workload.QueryPoolFiltered(*qseed, *poolSize, *filtered)
 
 	// fire issues one query and reports (latency, served-from-cache,
 	// error). Both modes implement it; everything downstream is shared.
 	var fire func(w int, sampler *workload.Sampler) (time.Duration, bool, error)
 	rep := Report{
 		Mode: "inprocess", Concurrency: *conc, DurationSec: duration.Seconds(),
-		Zipf: *zipf, PoolSize: *poolSize, K: *k,
+		Zipf: *zipf, PoolSize: *poolSize, FilteredFrac: *filtered, K: *k,
 	}
 	if *target != "" {
 		rep.Mode, rep.Target = "http", *target
@@ -167,14 +181,17 @@ func main() {
 	} else {
 		e := buildEngine(*snapshot, *seed, *sites, *rows, *workers, *cacheCap)
 		fire = func(_ int, sampler *workload.Sampler) (time.Duration, bool, error) {
+			// Same split the /v1 handler does: in-query DSL tokens become
+			// structured predicates, the rest ranks as keywords.
+			text, preds := query.Extract(sampler.Next())
 			start := time.Now()
-			resp, err := e.Search(context.Background(), engine.SearchRequest{Query: sampler.Next(), K: *k})
+			resp, err := e.Search(context.Background(), engine.SearchRequest{Query: text, K: *k, Filters: preds})
 			return time.Since(start), err == nil && resp.Cached, err
 		}
 	}
 
-	log.Printf("loadgen: %s mode, %d workers, %v, pool %d, zipf %.2f",
-		rep.Mode, *conc, *duration, *poolSize, *zipf)
+	log.Printf("loadgen: %s mode, %d workers, %v, pool %d, zipf %.2f, filtered %.2f",
+		rep.Mode, *conc, *duration, *poolSize, *zipf, *filtered)
 	results := make([]workerResult, *conc)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup

@@ -1,16 +1,22 @@
 // Command semserver builds the §6 semantic server: it crawls a
 // synthetic web (following links into record pages), aggregates HTML
 // tables into an ACSDb and a value store, and serves the semantic
-// services over HTTP JSON — both the versioned /v1 surface shared with
-// deepsearch and the legacy flat paths:
+// services over HTTP JSON through the versioned /v1 surface shared
+// with deepsearch:
 //
-//	GET /v1/semantics/synonyms?attr=make        (legacy: /synonyms)
-//	GET /v1/semantics/autocomplete?attrs=make   (legacy: /autocomplete)
-//	GET /v1/semantics/values?attr=city          (legacy: /values)
-//	GET /v1/semantics/properties?entity=seattle (legacy: /properties)
-//	GET /v1/semantics/tables?q=population       (legacy: /tablesearch)
+//	GET /v1/semantics/synonyms?attr=make
+//	GET /v1/semantics/autocomplete?attrs=make
+//	GET /v1/semantics/values?attr=city
+//	GET /v1/semantics/properties?entity=seattle
+//	GET /v1/semantics/tables?q=population
 //	GET /v1/admin/stats
 //	GET /healthz
+//
+// Deprecated: the pre-/v1 flat paths (/synonyms, /autocomplete,
+// /values, /properties, /tablesearch) are retired and answer 410 Gone
+// naming their /v1/semantics replacements, unless the server is
+// started with -legacy, which restores them temporarily for
+// unmigrated clients.
 //
 // The server carries production manners (via internal/httpx):
 // read/write timeouts and graceful shutdown on SIGINT/SIGTERM.
@@ -46,6 +52,7 @@ func main() {
 	rows := flag.Int("rows", 150, "rows per site")
 	seed := flag.Int64("seed", 42, "world seed")
 	snapshot := flag.String("snapshot", "", "warm-start from a snapshot directory (skips build + crawl)")
+	legacy := flag.Bool("legacy", false, "serve the deprecated pre-/v1 flat paths (/synonyms, …; default: answer them 410 Gone)")
 	debugAddr := flag.String("debugaddr", "", "listen address for the pprof debug mux (e.g. localhost:6061; empty disables)")
 	flag.Parse()
 	log.SetFlags(0)
@@ -80,14 +87,26 @@ func main() {
 	log.Printf("phase listen: serving on %s after %v startup", *addr, time.Since(begin).Round(time.Microsecond))
 
 	httpx.ServeDebug(*debugAddr)
-	legacy := sem.Server()
-	apiSrv := api.New(api.Options{Semantics: legacy})
+	flat := sem.Server()
+	apiSrv := api.New(api.Options{Semantics: flat})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", apiSrv)
 	mux.Handle("/healthz", apiSrv)
-	// Legacy flat paths keep serving the same handlers (same envelope,
-	// same method enforcement) for pre-/v1 clients.
-	mux.Handle("/", legacy)
+	// The pre-/v1 flat paths are retired: by default each answers 410
+	// Gone naming its /v1/semantics replacement. -legacy restores the
+	// old handlers (same envelope, same method enforcement) for
+	// clients that have not migrated yet.
+	if *legacy {
+		mux.Handle("/", flat)
+	} else {
+		mux.Handle("/", api.LegacyGone(map[string]string{
+			"/synonyms":     "/v1/semantics/synonyms",
+			"/autocomplete": "/v1/semantics/autocomplete",
+			"/values":       "/v1/semantics/values",
+			"/properties":   "/v1/semantics/properties",
+			"/tablesearch":  "/v1/semantics/tables",
+		}))
+	}
 
 	if err := httpx.Serve(context.Background(), *addr, mux); err != nil {
 		log.Fatal(err)

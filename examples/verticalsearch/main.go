@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"deepweb/internal/engine"
+	"deepweb/internal/query"
 	"deepweb/internal/virtual"
 	"deepweb/internal/webgen"
 )
@@ -36,8 +37,8 @@ func main() {
 	fmt.Printf("mediator: %d sources registered across %d schemas\n\n", registered, len(m.Schemas))
 
 	// Structured query over the usedcars vertical: slice by make.
-	fmt.Println("structured query usedcars{make: ford} (first 5 of merged live results):")
-	for i, a := range m.StructuredQuery("usedcars", map[string]string{"make": "ford"}, 5) {
+	fmt.Println("structured query usedcars[make:ford] (first 5 of merged live results):")
+	for i, a := range m.StructuredQuery("usedcars", []query.Predicate{query.Eq("make", "ford")}, 5) {
 		fmt.Printf("  %d. [%s] %s\n", i+1, a.Site, a.Record)
 	}
 

@@ -7,7 +7,7 @@
 // endpoint groups its process actually backs.
 //
 //	GET  /healthz                   liveness + doc count + generation
-//	GET  /v1/search                 ranked retrieval (q, k, offset, annotated, host)
+//	GET  /v1/search                 ranked retrieval (q, k, offset, annotated, host, filter)
 //	GET  /v1/semantics/synonyms     §6 semantic services
 //	GET  /v1/semantics/autocomplete
 //	GET  /v1/semantics/values
@@ -30,6 +30,7 @@ import (
 
 	"deepweb/internal/engine"
 	"deepweb/internal/httpx"
+	"deepweb/internal/query"
 	"deepweb/internal/rescache"
 	"deepweb/internal/resilient"
 	"deepweb/internal/semserv"
@@ -196,9 +197,13 @@ type searchResult struct {
 }
 
 // searchResponse is the /v1/search payload: the page, the request echo
-// that produced it, and the serving metadata.
+// that produced it, and the serving metadata. Filters echoes the
+// structured predicates applied (explicit filter= params plus any
+// parsed out of q), in canonical form; absent when the request carried
+// none, so predicate-free responses keep their exact prior shape.
 type searchResponse struct {
 	Query      string         `json:"query"`
+	Filters    []string       `json:"filters,omitempty"`
 	K          int            `json:"k"`
 	Offset     int            `json:"offset"`
 	Total      int            `json:"total"`
@@ -207,7 +212,17 @@ type searchResponse struct {
 	Results    []searchResult `json:"results"`
 }
 
-// GET /v1/search?q=...&k=10&offset=0&annotated=true&host=...
+// GET /v1/search?q=...&k=10&offset=0&annotated=true&host=...&filter=...
+//
+// Structured predicates arrive two ways, freely mixed:
+//
+//   - repeatable filter= params ("filter=make:ford&filter=price<10000"),
+//     where a malformed predicate is a 400 in the shared envelope —
+//     the caller asked for a filter explicitly, so silently dropping
+//     it would serve wrong results;
+//   - embedded in q itself ("q=used+cars+price<10000"), where a token
+//     is a predicate only if it parses cleanly and stays keyword text
+//     otherwise — no previously-valid query becomes an error.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	s.inflight.Add(1)
@@ -230,6 +245,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	k := intParam(params, "k", 10, 1, MaxK)
 	offset := intParam(params, "offset", 0, 0, MaxOffset)
 
+	var filters []query.Predicate
+	for _, raw := range params["filter"] {
+		p, err := query.Parse(raw)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest,
+				"malformed filter: "+err.Error())
+			return
+		}
+		filters = append(filters, p)
+	}
+	text, embedded := query.Extract(q)
+	filters = append(filters, embedded...)
+	if text == "" && len(filters) > 0 {
+		// Ranking needs at least one free-text term; a filter-only
+		// request has nothing to rank (or paginate) against.
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeBadRequest,
+			"q contains only filters; add at least one keyword term to rank against")
+		return
+	}
+
 	e := s.engine()
 	if e == nil {
 		// The Engine func is wired but momentarily has nothing to serve
@@ -238,11 +273,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := e.Search(r.Context(), engine.SearchRequest{
-		Query:     q,
+		Query:     text,
 		K:         k,
 		Offset:    offset,
 		Annotated: params.Get("annotated") == "true" || params.Get("annotated") == "1",
 		Host:      params.Get("host"),
+		Filters:   filters,
 	})
 	if err != nil {
 		// The one search error is a canceled/expired request context:
@@ -258,6 +294,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Generation: resp.Generation,
 		TookMS:     float64(resp.Elapsed) / float64(time.Millisecond),
 		Results:    make([]searchResult, len(resp.Results)),
+	}
+	for _, p := range query.Canonical(filters) {
+		out.Filters = append(out.Filters, p.String())
 	}
 	for i, hit := range resp.Results {
 		out.Results[i] = searchResult{

@@ -27,7 +27,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // testEngine builds a tiny hand-indexed engine: four documents over
 // two hosts with fixed text, so scores, ids and tie order are fully
-// deterministic and the goldens stay small and readable.
+// deterministic and the goldens stay small and readable. The two car
+// pages carry surfacing-time annotations so the filter goldens
+// exercise annotation resolution (the blog pages have none and fall
+// back to text matching).
 func testEngine() *engine.Engine {
 	e := engine.New(webgen.NewWeb())
 	docs := []index.Doc{
@@ -36,8 +39,17 @@ func testEngine() *engine.Engine {
 		{URL: "http://blog.example/p/0", Title: "road trip diary", Text: "our ford focus drove across the country"},
 		{URL: "http://blog.example/p/1", Title: "city guide", Text: "seattle coffee and rain"},
 	}
-	for _, d := range docs {
-		e.Index.Add(d)
+	anns := []map[string]string{
+		{"make": "ford", "price": "8500", "year": "2006"},
+		{"make": "honda", "price": "11000", "year": "2009"},
+		nil,
+		nil,
+	}
+	for i, d := range docs {
+		id, _ := e.Index.Add(d)
+		if anns[i] != nil {
+			e.Index.Annotate(id, anns[i])
+		}
 	}
 	return e
 }
@@ -152,6 +164,13 @@ func TestV1ContractGoldens(t *testing.T) {
 		{"search_k_defaulted", "GET", "/v1/search?q=seattle&k=abc", 200},
 		{"search_offset_defaulted", "GET", "/v1/search?q=seattle&offset=-2", 200},
 		{"search_method", "POST", "/v1/search?q=x", 405},
+		// Structured filters: explicit filter= params, the in-query
+		// DSL, a range, and the documented 400 for a malformed filter.
+		{"search_filtered", "GET", "/v1/search?q=used&filter=make:ford", 200},
+		{"search_filter_dsl", "GET", "/v1/search?q=used+price%3C10000", 200},
+		{"search_filter_range", "GET", "/v1/search?q=used&filter=year:2005..2008", 200},
+		{"search_filter_bad", "GET", "/v1/search?q=used&filter=price%3C%3C10", 400},
+		{"search_filter_only", "GET", "/v1/search?q=make:ford", 400},
 		{"synonyms", "GET", "/v1/semantics/synonyms?attr=make&k=3", 200},
 		{"synonyms_missing_attr", "GET", "/v1/semantics/synonyms", 400},
 		{"synonyms_method", "DELETE", "/v1/semantics/synonyms?attr=make", 405},
@@ -265,6 +284,78 @@ func TestDerivedStats(t *testing.T) {
 	}
 	if st.Fetch.Attempts != 0 || len(st.Fetch.OpenBreakers) != 0 {
 		t.Errorf("idle fetch block = %+v", st.Fetch)
+	}
+}
+
+// The retired legacy surface: known paths answer 410 with the
+// replacement (query string preserved), unknown paths the shared 404
+// envelope — both in the one JSON dialect.
+func TestLegacyGone(t *testing.T) {
+	h := LegacyGone(map[string]string{
+		"/api/search": "/v1/search",
+		"/synonyms":   "/v1/semantics/synonyms",
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=ford&k=3", nil))
+	if rec.Code != 410 {
+		t.Fatalf("retired path: status %d, want 410\n%s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"code":"gone"`) || !strings.Contains(body, "/v1/search?q=ford") {
+		t.Errorf("410 envelope lacks code/replacement: %s", body)
+	}
+	checkGolden(t, "legacy_gone", rec.Body.Bytes())
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nosuch", nil))
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), `"code":"not_found"`) {
+		t.Errorf("unknown path: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// Filtered pagination over HTTP mirrors the unfiltered contract:
+// totals are page-independent and pages tile, with the filter echoed
+// canonically however it was spelled.
+func TestFilteredSearchOverHTTP(t *testing.T) {
+	s := testServer(t, Options{})
+	get := func(target string) (resp struct {
+		Filters []string          `json:"filters"`
+		Total   int               `json:"total"`
+		Results []json.RawMessage `json:"results"`
+	}) {
+		rec := do(s, "GET", target)
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d\n%s", target, rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	// Both spellings of the same request: identical results and the
+	// same canonical filter echo.
+	viaParam := get("/v1/search?q=used&filter=price%3C10000&filter=make:ford")
+	viaDSL := get("/v1/search?q=used+make:ford+price%3C10000")
+	if viaParam.Total != 1 || viaDSL.Total != 1 {
+		t.Fatalf("totals: param=%d dsl=%d, want 1", viaParam.Total, viaDSL.Total)
+	}
+	if len(viaParam.Filters) != 2 || viaParam.Filters[0] != "make:ford" {
+		t.Errorf("canonical filter echo = %v", viaParam.Filters)
+	}
+	if fmt.Sprint(viaParam.Filters) != fmt.Sprint(viaDSL.Filters) {
+		t.Errorf("filter echo differs by spelling: %v vs %v", viaParam.Filters, viaDSL.Filters)
+	}
+	for i := range viaParam.Results {
+		if string(viaParam.Results[i]) != string(viaDSL.Results[i]) {
+			t.Fatalf("spellings diverge at rank %d", i)
+		}
+	}
+	// The unfiltered query matches more than the filtered one.
+	if un := get("/v1/search?q=used"); un.Total <= viaParam.Total {
+		t.Errorf("filter did not restrict: unfiltered %d, filtered %d", un.Total, viaParam.Total)
 	}
 }
 

@@ -1,0 +1,42 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+
+	"deepweb/internal/httpx"
+)
+
+// Legacy-surface retirement. The pre-/v1 endpoints (deepsearch's
+// /api/search alias, semserver's flat /synonyms-style paths) predate
+// the versioned surface and duplicate it exactly; serving both keeps
+// two contracts alive for one behavior. Binaries now mount LegacyGone
+// by default and only serve the old paths behind an explicit -legacy
+// flag, so stragglers get a machine-readable pointer at the
+// replacement instead of a silent 404 — the standard deprecation
+// endgame: announce (410 + replacement), then delete.
+
+// LegacyGone answers retired legacy paths with a 410 envelope naming
+// the /v1 replacement, and anything else under its mount with the
+// shared 404 envelope. replacements maps retired path → current path.
+func LegacyGone(replacements map[string]string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if repl, ok := replacements[r.URL.Path]; ok {
+			msg := r.URL.Path + " was retired; use " + repl
+			if r.URL.RawQuery != "" {
+				msg += "?" + r.URL.RawQuery
+			}
+			msg += " (or start the server with -legacy to restore the old path temporarily)"
+			httpx.WriteError(w, http.StatusGone, httpx.CodeGone, msg)
+			return
+		}
+		retired := make([]string, 0, len(replacements))
+		for p := range replacements {
+			retired = append(retired, p)
+		}
+		sort.Strings(retired)
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
+			r.URL.Path+" is not served here (retired legacy paths: "+strings.Join(retired, ", ")+")")
+	})
+}

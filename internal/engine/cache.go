@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"deepweb/internal/index"
+	"deepweb/internal/query"
 	"deepweb/internal/rescache"
 	"deepweb/internal/textutil"
 )
@@ -15,7 +16,8 @@ import (
 // arrive over and over while the index between refreshes is immutable.
 // An enabled engine routes Search through a bounded rescache keyed by
 //
-//	(Generation, mutation epoch, normalized query, k, offset, host, annotated)
+//	(Generation, mutation epoch, normalized query, k, offset, host,
+//	 annotated, canonical filters)
 //
 // — every input that can change the answer. Correctness falls out of
 // the key, not of invalidation traffic:
@@ -110,6 +112,12 @@ func (e *Engine) searchCacheKey(req SearchRequest) string {
 	}
 	b.WriteByte('\x00')
 	b.WriteString(req.Host)
+	b.WriteByte('\x00')
+	// Structured filters change the answer, so they are part of the
+	// key — in canonical (sorted, deduplicated) serialization, so
+	// permuted or repeated predicate lists share the entry they ought
+	// to, and filtered queries can never alias unfiltered ones.
+	b.WriteString(query.Key(req.Filters))
 	b.WriteByte('\x00')
 	for i, term := range textutil.StemmedTokens(req.Query) {
 		if i > 0 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"deepweb/internal/index"
+	"deepweb/internal/query"
 )
 
 // Serving-side API: one request/response pair every consumer of ranked
@@ -32,6 +33,14 @@ type SearchRequest struct {
 	// Host restricts hits to documents on one host ("" = all). The
 	// total reflects the restriction.
 	Host string
+	// Filters are structured predicates (internal/query) every hit
+	// must satisfy: admission runs after BM25 scoring and before
+	// selection, so kept documents score bit-identically to an
+	// unfiltered search and Total counts exactly the matching live
+	// documents. Predicates resolve against the document's §5.1
+	// annotations first, then typed tokens from its text; order and
+	// duplicates are irrelevant (the cache keys their canonical form).
+	Filters []query.Predicate
 }
 
 // SearchResponse carries the page plus the serving metadata every
@@ -88,9 +97,18 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (SearchResponse,
 // searchUncached is the always-scan path behind Search.
 func (e *Engine) searchUncached(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	start := time.Now()
-	var keep func(index.Doc) bool
-	if req.Host != "" {
-		keep = func(d index.Doc) bool { return urlOnHost(d.URL, req.Host) }
+	// The predicate-free, host-free path keeps keep == nil: topK's
+	// branch-free selection loop is the benchmarked hot path and must
+	// not grow a closure call per hit.
+	var keep func(id int, d index.Doc) bool
+	if m := query.NewMatcher(req.Filters); m != nil || req.Host != "" {
+		host, ix := req.Host, e.Index
+		keep = func(id int, d index.Doc) bool {
+			if host != "" && !urlOnHost(d.URL, host) {
+				return false
+			}
+			return m.Match(ix.AnnotationsOf(id), d.Title, d.Text)
+		}
 	}
 	var (
 		hits  []index.Result

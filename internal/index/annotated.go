@@ -147,11 +147,11 @@ func (ix *Index) AnnotatedSearch(query string, k int) []Result {
 // base top-rerankDepth re-ranked once, plain BM25 order beyond it).
 // The total counts every live document the query matched (after the
 // filter), not just the re-ranked prefix.
-func (ix *Index) AnnotatedTopK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+func (ix *Index) AnnotatedTopK(ctx context.Context, query string, k, offset int, keep func(id int, d Doc) bool) ([]Result, int, error) {
 	return ix.annotatedTopK(ctx, query, k, offset, keep)
 }
 
-func (ix *Index) annotatedTopK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+func (ix *Index) annotatedTopK(ctx context.Context, query string, k, offset int, keep func(id int, d Doc) bool) ([]Result, int, error) {
 	if k <= 0 {
 		return nil, 0, ctxErr(ctx)
 	}

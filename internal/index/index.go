@@ -402,12 +402,14 @@ func (ix *Index) Search(query string, k int) []Result {
 
 // TopK is the serving-layer generalization of Search: the same scoring
 // path plus pagination (skip offset hits), an optional per-document
-// admission filter, the total live hit count, and cooperative
-// cancellation between query terms. With keep == nil and offset == 0
-// the result slice is bit-identical to Search(query, k) — same ids,
-// same float score bits, same tie order — with the hit total riding
-// along. A canceled context returns ctx.Err() with no results.
-func (ix *Index) TopK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+// admission filter (called with the document's id and row, so filters
+// can consult id-keyed side stores like AnnotationsOf), the total live
+// hit count, and cooperative cancellation between query terms. With
+// keep == nil and offset == 0 the result slice is bit-identical to
+// Search(query, k) — same ids, same float score bits, same tie order —
+// with the hit total riding along. A canceled context returns
+// ctx.Err() with no results.
+func (ix *Index) TopK(ctx context.Context, query string, k, offset int, keep func(id int, d Doc) bool) ([]Result, int, error) {
 	return ix.topK(ctx, query, k, offset, keep)
 }
 
@@ -434,7 +436,7 @@ func abandonSearch(sc *searchScratch, scores []float64, touched []int32, err err
 
 // topK is the one scoring implementation behind Search, TopK and the
 // annotated variants.
-func (ix *Index) topK(ctx context.Context, query string, k, offset int, keep func(Doc) bool) ([]Result, int, error) {
+func (ix *Index) topK(ctx context.Context, query string, k, offset int, keep func(id int, d Doc) bool) ([]Result, int, error) {
 	if k <= 0 {
 		return nil, 0, ctxErr(ctx)
 	}
@@ -569,7 +571,7 @@ func (ix *Index) topK(ctx context.Context, query string, k, offset int, keep fun
 		for _, d := range touched {
 			s := scores[d]
 			scores[d] = 0
-			if !keep(ix.docs[d]) {
+			if !keep(int(d), ix.docs[d]) {
 				continue
 			}
 			total++

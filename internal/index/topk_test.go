@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/url"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -87,7 +88,7 @@ func TestTopKPagination(t *testing.T) {
 func TestTopKFilter(t *testing.T) {
 	ix := topkCorpus(t, 4)
 	q := "ford focus"
-	keep := func(d Doc) bool {
+	keep := func(_ int, d Doc) bool {
 		u, err := url.Parse(d.URL)
 		return err == nil && u.Host == "h1.example"
 	}
@@ -106,12 +107,38 @@ func TestTopKFilter(t *testing.T) {
 	// The filtered ranking preserves the relative order of the full one.
 	var fromFull []Result
 	for _, h := range ix.Search(q, 1000) {
-		if keep(Doc{URL: h.URL}) {
+		if keep(h.DocID, Doc{URL: h.URL}) {
 			fromFull = append(fromFull, h)
 		}
 	}
 	if !reflect.DeepEqual(hits, fromFull) {
 		t.Fatal("filtered ranking disagrees with post-filtered full ranking")
+	}
+}
+
+// The admission filter receives the document id (not just the row), so
+// id-keyed side stores like AnnotationsOf can drive admission.
+func TestTopKFilterSeesDocID(t *testing.T) {
+	ix := topkCorpus(t, 4)
+	hits, total, err := ix.TopK(context.Background(), "ford focus", 1000, 0,
+		func(id int, d Doc) bool {
+			// The corpus numbers URLs by insertion order, so the id and
+			// its row must agree.
+			if want := fmt.Sprintf("/doc/%d", id); !strings.HasSuffix(d.URL, want) {
+				t.Fatalf("filter id %d does not match its row %s", id, d.URL)
+			}
+			return id%2 == 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 30 || len(hits) != 30 {
+		t.Fatalf("id-filtered total=%d hits=%d, want 30/30", total, len(hits))
+	}
+	for _, h := range hits {
+		if h.DocID%2 != 0 {
+			t.Fatalf("filter leaked doc %d", h.DocID)
+		}
 	}
 }
 

@@ -1,0 +1,437 @@
+// Package query is the structured-predicate half of the search API:
+// a small query DSL — `attr:value` equality terms, numeric comparisons
+// (`price<10000`) and inclusive ranges (`year:2005..2009`) — plus the
+// matcher that evaluates parsed predicates against a document's
+// surfacing-time annotations (§5.1) and, failing those, against typed
+// tokens extracted from the document text (§4.1). The package is what
+// lets the vertical-search scenarios the paper motivates ("used cars
+// under $10k") run against the surfaced corpus through the same
+// serving path as any keyword query.
+//
+// Resolution order per predicate mirrors how much the engine knows
+// about a document:
+//
+//  1. An annotation on the queried attribute is authoritative: it is
+//     the binding that generated the page, so a contradicting value
+//     rejects the document no matter what its text says (the paper's
+//     "used ford focus 1993" example, inverted into filtering).
+//  2. For numeric predicates, annotations on *type-compatible*
+//     attributes also answer: a `price<10000` filter is satisfied by a
+//     `minprice=3800` annotation because both hypothesize to the price
+//     type (core.HypothesizeType).
+//  3. With no relevant annotation, typed tokens from the document text
+//     stand in — surfaced result pages render their records' numbers
+//     as plain tokens, so a price filter scans the page's numbers.
+//
+// Predicates AND together. Parsing and matching are deterministic pure
+// functions, so a predicate list can participate in cache keys via
+// Key, which serializes the canonical (sorted, deduplicated) form.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deepweb/internal/core"
+	"deepweb/internal/textutil"
+)
+
+// Op is a predicate's comparison operator.
+type Op uint8
+
+const (
+	// OpEq is `attr:value` equality.
+	OpEq Op = iota
+	// OpLt / OpLe / OpGt / OpGe are the numeric comparisons
+	// `attr<n`, `attr<=n`, `attr>n`, `attr>=n`.
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// OpRange is the inclusive numeric range `attr:lo..hi`.
+	OpRange
+)
+
+// String returns the operator as it appears in the DSL.
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return ":"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpRange:
+		return ".."
+	}
+	return "?"
+}
+
+// Predicate is one parsed filter term. Attr and Value are stored
+// lower-cased (annotations are stored lower-cased too). For numeric
+// operators, Lo and/or Hi carry the parsed bounds: Lo for OpGt/OpGe,
+// Hi for OpLt/OpLe, both for OpRange; OpEq uses only Value.
+type Predicate struct {
+	Attr  string
+	Op    Op
+	Value string
+	Lo    float64
+	Hi    float64
+}
+
+// Eq builds an equality predicate, the common programmatic case
+// (mediator bindings, tests). Inputs are lower-cased to match Parse.
+func Eq(attr, value string) Predicate {
+	return Predicate{Attr: strings.ToLower(attr), Op: OpEq, Value: strings.ToLower(value)}
+}
+
+// String renders the predicate back in DSL form; Parse(p.String())
+// round-trips.
+func (p Predicate) String() string {
+	switch p.Op {
+	case OpEq:
+		return p.Attr + ":" + p.Value
+	case OpRange:
+		return p.Attr + ":" + formatNum(p.Lo) + ".." + formatNum(p.Hi)
+	default:
+		return p.Attr + p.Op.String() + p.Value
+	}
+}
+
+// formatNum renders a bound the way a user would type it: integers
+// without a decimal point.
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// validAttr reports whether s is a legal attribute name: a letter
+// followed by letters, digits or underscores. The shape matches form
+// input names, which is where annotation attributes come from.
+func validAttr(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case i > 0 && (r >= '0' && r <= '9' || r == '_'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// IsNumber reports whether s is a plain unsigned integer token — the
+// shape numeric values take after tokenization. Shared with the
+// mediator's token binding so there is one definition of "numeric
+// token" across the query surface.
+func IsNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse parses one predicate term:
+//
+//	attr:value      equality ("make:ford")
+//	attr:lo..hi     inclusive numeric range ("year:2005..2009")
+//	attr<n attr<=n  numeric comparisons ("price<10000")
+//	attr>n attr>=n
+//
+// Attribute names are lower-cased and must be a letter followed by
+// letters/digits/underscores; comparison and range bounds must be
+// numbers. Anything else is an error spelling out what was wrong.
+func Parse(s string) (Predicate, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return Predicate{}, fmt.Errorf("empty predicate")
+	}
+	// Comparison operators first: "<=" and ">=" before their one-char
+	// prefixes.
+	for _, c := range []struct {
+		tok string
+		op  Op
+	}{{"<=", OpLe}, {">=", OpGe}, {"<", OpLt}, {">", OpGt}} {
+		if i := strings.Index(s, c.tok); i >= 0 {
+			attr, val := s[:i], s[i+len(c.tok):]
+			if !validAttr(attr) {
+				return Predicate{}, fmt.Errorf("%q: attribute must be a letter followed by letters, digits or underscores", attr)
+			}
+			n, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("%q: %s needs a numeric bound, got %q", s, c.tok, val)
+			}
+			p := Predicate{Attr: attr, Op: c.op, Value: val}
+			if c.op == OpLt || c.op == OpLe {
+				p.Hi = n
+			} else {
+				p.Lo = n
+			}
+			return p, nil
+		}
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return Predicate{}, fmt.Errorf("%q: no operator (want attr:value, attr:lo..hi, or attr<n / attr<=n / attr>n / attr>=n)", s)
+	}
+	attr, val := s[:i], s[i+1:]
+	if !validAttr(attr) {
+		return Predicate{}, fmt.Errorf("%q: attribute must be a letter followed by letters, digits or underscores", attr)
+	}
+	if val == "" {
+		return Predicate{}, fmt.Errorf("%q: empty value", s)
+	}
+	if j := strings.Index(val, ".."); j >= 0 {
+		lo, errLo := strconv.ParseFloat(val[:j], 64)
+		hi, errHi := strconv.ParseFloat(val[j+2:], 64)
+		if errLo != nil || errHi != nil {
+			return Predicate{}, fmt.Errorf("%q: range bounds must be numbers, got %q..%q", s, val[:j], val[j+2:])
+		}
+		if lo > hi {
+			return Predicate{}, fmt.Errorf("%q: range is empty (%v > %v)", s, lo, hi)
+		}
+		return Predicate{Attr: attr, Op: OpRange, Value: val, Lo: lo, Hi: hi}, nil
+	}
+	return Predicate{Attr: attr, Op: OpEq, Value: val}, nil
+}
+
+// Extract splits a free-text query into its keyword part and any
+// embedded DSL predicates, so `used cars price<10000` works with zero
+// client changes. A whitespace-delimited token becomes a predicate
+// only when it parses cleanly; a token that merely looks like one
+// ("re:invent", "3:2") stays keyword text, so no previously-valid
+// query becomes an error through this path.
+func Extract(q string) (rest string, preds []Predicate) {
+	fields := strings.Fields(q)
+	kept := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if strings.ContainsAny(f, ":<>") {
+			if p, err := Parse(f); err == nil {
+				preds = append(preds, p)
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	return strings.Join(kept, " "), preds
+}
+
+// Canonical returns the canonical form of a predicate list: sorted
+// and deduplicated, so lists that differ only in order or repetition
+// compare (and cache) equal. The input is not modified; an empty or
+// nil list returns nil.
+func Canonical(preds []Predicate) []Predicate {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := append([]Predicate(nil), preds...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Hi < b.Hi
+	})
+	dedup := out[:1]
+	for _, p := range out[1:] {
+		if p != dedup[len(dedup)-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// Key serializes a predicate list canonically for use inside cache
+// keys: two lists produce the same key iff they are the same filter
+// (order- and duplicate-insensitive). Empty and nil lists produce "".
+func Key(preds []Predicate) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, p := range Canonical(preds) {
+		if i > 0 {
+			b.WriteByte('\x01')
+		}
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// compiled is one predicate plus everything derivable at compile time:
+// its hypothesized value type, tokenized equality value, and parsed
+// numeric equality value if any.
+type compiled struct {
+	p       Predicate
+	typ     string   // core.HypothesizeType(attr, ""); "" = untyped
+	valToks []string // OpEq: the value's tokens, for text containment
+}
+
+// Matcher evaluates a fixed predicate list against documents. Compile
+// once per query with NewMatcher, then call Match once per candidate
+// document; a Matcher is read-only after construction and safe for
+// concurrent use.
+type Matcher struct {
+	preds []compiled
+}
+
+// NewMatcher compiles a predicate list. An empty or nil list returns
+// nil, and a nil *Matcher matches every document — callers can wire
+// `m.Match` unconditionally.
+func NewMatcher(preds []Predicate) *Matcher {
+	if len(preds) == 0 {
+		return nil
+	}
+	m := &Matcher{preds: make([]compiled, 0, len(preds))}
+	for _, p := range preds {
+		c := compiled{p: p, typ: core.HypothesizeType(p.Attr, "")}
+		if p.Op == OpEq {
+			c.valToks = textutil.Tokenize(p.Value)
+		}
+		m.preds = append(m.preds, c)
+	}
+	return m
+}
+
+// Match reports whether a document satisfies every predicate, given
+// its annotations (nil when it has none) and its title and text. The
+// per-document text tokenization is done lazily and at most once, and
+// only when some predicate actually needs the text fallback.
+func (m *Matcher) Match(anns map[string]string, title, text string) bool {
+	if m == nil {
+		return true
+	}
+	var doc *docTokens
+	lazy := func() *docTokens {
+		if doc == nil {
+			doc = newDocTokens(title, text)
+		}
+		return doc
+	}
+	for i := range m.preds {
+		if !m.preds[i].match(anns, lazy) {
+			return false
+		}
+	}
+	return true
+}
+
+// docTokens is the lazily-built per-document text view: the padded
+// token string for phrase containment and the document's numeric
+// tokens for typed extraction.
+type docTokens struct {
+	padded string
+	nums   []float64
+	years  []float64
+}
+
+func newDocTokens(title, text string) *docTokens {
+	toks := textutil.Tokenize(title + " " + text)
+	d := &docTokens{padded: " " + strings.Join(toks, " ") + " "}
+	for _, t := range toks {
+		if !IsNumber(t) {
+			continue
+		}
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			continue
+		}
+		d.nums = append(d.nums, v)
+		if v >= 1500 && v <= 2200 {
+			d.years = append(d.years, v)
+		}
+	}
+	return d
+}
+
+// match evaluates one compiled predicate.
+func (c *compiled) match(anns map[string]string, lazy func() *docTokens) bool {
+	if c.p.Op == OpEq {
+		// The exact attribute's annotation is authoritative either way:
+		// agreement admits, contradiction rejects.
+		if have, ok := anns[c.p.Attr]; ok {
+			return have == c.p.Value
+		}
+		// No annotation: fall back to phrase containment over the
+		// document's tokens (multi-token values match as a phrase,
+		// like annStore.valuesMentioned).
+		if len(c.valToks) == 0 {
+			return false
+		}
+		return strings.Contains(lazy().padded, " "+strings.Join(c.valToks, " ")+" ")
+	}
+
+	// Numeric predicate: candidate values come from annotations on the
+	// attribute itself or any type-compatible attribute (minprice and
+	// maxprice both hypothesize to price), else from the document's
+	// typed tokens. Any satisfying candidate admits the document.
+	found := false
+	for attr, val := range anns {
+		if attr != c.p.Attr && (c.typ == "" || core.HypothesizeType(attr, "") != c.typ) {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		found = true
+		if c.inBounds(v) {
+			return true
+		}
+	}
+	if found {
+		// Relevant annotations existed and all contradicted the bound:
+		// the page is about values outside the filter.
+		return false
+	}
+	d := lazy()
+	nums := d.nums
+	if c.typ == core.TypeDate {
+		nums = d.years
+	}
+	for _, v := range nums {
+		if c.inBounds(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// inBounds applies the predicate's comparison to one candidate value.
+func (c *compiled) inBounds(v float64) bool {
+	switch c.p.Op {
+	case OpLt:
+		return v < c.p.Hi
+	case OpLe:
+		return v <= c.p.Hi
+	case OpGt:
+		return v > c.p.Lo
+	case OpGe:
+		return v >= c.p.Lo
+	case OpRange:
+		return v >= c.p.Lo && v <= c.p.Hi
+	}
+	return false
+}

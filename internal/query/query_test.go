@@ -1,0 +1,231 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Predicate
+	}{
+		{"make:ford", Predicate{Attr: "make", Op: OpEq, Value: "ford"}},
+		{"Make:Ford", Predicate{Attr: "make", Op: OpEq, Value: "ford"}},
+		{"price<10000", Predicate{Attr: "price", Op: OpLt, Value: "10000", Hi: 10000}},
+		{"price<=9999", Predicate{Attr: "price", Op: OpLe, Value: "9999", Hi: 9999}},
+		{"year>2003", Predicate{Attr: "year", Op: OpGt, Value: "2003", Lo: 2003}},
+		{"salary>=50000", Predicate{Attr: "salary", Op: OpGe, Value: "50000", Lo: 50000}},
+		{"year:2005..2009", Predicate{Attr: "year", Op: OpRange, Value: "2005..2009", Lo: 2005, Hi: 2009}},
+		{"zip:98101", Predicate{Attr: "zip", Op: OpEq, Value: "98101"}},
+		{"min_price<3.5", Predicate{Attr: "min_price", Op: OpLt, Value: "3.5", Hi: 3.5}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// DSL round-trip: String re-parses to the same predicate.
+		back, err := Parse(got.String())
+		if err != nil || back.Attr != got.Attr || back.Op != got.Op || back.Lo != got.Lo || back.Hi != got.Hi {
+			t.Errorf("round-trip %q -> %q -> %+v (err %v)", c.in, got.String(), back, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", ":", "make:", ":ford", "price<", "price<abc", "<10",
+		"3:2", "year:2009..2005", "year:abc..2009", "pri ce:x",
+		"price<<10", "-x:1", "привет:1",
+	} {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, p)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	rest, preds := Extract("used cars price<10000 year:2005..2009")
+	if rest != "used cars" {
+		t.Errorf("rest = %q", rest)
+	}
+	if len(preds) != 2 || preds[0].Attr != "price" || preds[1].Op != OpRange {
+		t.Errorf("preds = %+v", preds)
+	}
+
+	// Tokens that merely look like predicates stay keyword text: a
+	// numeric-looking attr, a comparison with a non-numeric bound, a
+	// dangling colon.
+	rest, preds = Extract("3:2 a<b x: plain")
+	if len(preds) != 0 || rest != "3:2 a<b x: plain" {
+		t.Errorf("malformed DSL leaked: rest=%q preds=%+v", rest, preds)
+	}
+
+	if rest, preds := Extract(""); rest != "" || preds != nil {
+		t.Errorf("empty query: %q %+v", rest, preds)
+	}
+}
+
+func TestCanonicalAndKey(t *testing.T) {
+	a := []Predicate{mustParse(t, "price<10000"), Eq("make", "ford"), Eq("make", "ford")}
+	b := []Predicate{Eq("make", "ford"), mustParse(t, "price<10000")}
+	if Key(a) != Key(b) {
+		t.Errorf("order/dup-insensitive keys differ: %q vs %q", Key(a), Key(b))
+	}
+	if Key(a) == "" {
+		t.Error("non-empty filter produced empty key")
+	}
+	if got := Key(nil); got != "" {
+		t.Errorf("Key(nil) = %q", got)
+	}
+	if Key([]Predicate{Eq("make", "ford")}) == Key([]Predicate{Eq("make", "honda")}) {
+		t.Error("distinct filters share a key")
+	}
+	if Key([]Predicate{mustParse(t, "price<10000")}) == Key([]Predicate{mustParse(t, "price<=10000")}) {
+		t.Error("lt and le share a key")
+	}
+	if got := Canonical(a); len(got) != 2 {
+		t.Errorf("Canonical kept duplicates: %+v", got)
+	}
+	if len(a) != 3 {
+		t.Error("Canonical mutated its input")
+	}
+}
+
+func mustParse(t *testing.T, s string) Predicate {
+	t.Helper()
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMatcherEquality(t *testing.T) {
+	m := NewMatcher([]Predicate{Eq("make", "ford")})
+	// Annotation agreement admits, contradiction rejects even when the
+	// text mentions the value (the paper's Honda-page-mentioning-Ford
+	// failure mode).
+	if !m.Match(map[string]string{"make": "ford"}, "t", "") {
+		t.Error("agreeing annotation rejected")
+	}
+	if m.Match(map[string]string{"make": "honda"}, "used ford focus", "a ford in the text") {
+		t.Error("contradicting annotation admitted on text evidence")
+	}
+	// No annotation: text containment decides.
+	if !m.Match(nil, "used ford focus", "for sale") {
+		t.Error("text fallback missed the value")
+	}
+	if m.Match(nil, "used honda civic", "for sale") {
+		t.Error("text fallback matched an absent value")
+	}
+	// Multi-token values match as a phrase.
+	mm := NewMatcher([]Predicate{Eq("city", "san francisco")})
+	if !mm.Match(nil, "", "homes in san francisco bay") {
+		t.Error("phrase value missed")
+	}
+	if mm.Match(nil, "", "san diego and francisco street") {
+		t.Error("split phrase matched")
+	}
+}
+
+func TestMatcherNumeric(t *testing.T) {
+	lt := NewMatcher([]Predicate{mustParse(t, "price<10000")})
+	// Exact-attribute annotation.
+	if !lt.Match(map[string]string{"price": "8500"}, "", "") {
+		t.Error("in-bound price annotation rejected")
+	}
+	if lt.Match(map[string]string{"price": "12000"}, "", "") {
+		t.Error("out-of-bound price annotation admitted")
+	}
+	// Type-compatible annotation: minprice hypothesizes to price.
+	if !lt.Match(map[string]string{"minprice": "3800"}, "", "") {
+		t.Error("type-compatible annotation rejected")
+	}
+	// All relevant annotations out of bounds: no text fallback.
+	if lt.Match(map[string]string{"minprice": "15000", "maxprice": "20000"}, "", "8500 in text") {
+		t.Error("contradicting annotations fell back to text")
+	}
+	// No relevant annotation: numeric tokens from the text decide.
+	if !lt.Match(map[string]string{"city": "seattle"}, "sedan", "2004 sedan 8500 miles") {
+		t.Error("text number in bounds rejected")
+	}
+	if lt.Match(nil, "sedan", "no numbers here") {
+		t.Error("numberless doc admitted by numeric predicate")
+	}
+
+	// Date-typed predicates only consider year-shaped numbers in text,
+	// so a price token cannot satisfy a year range.
+	yr := NewMatcher([]Predicate{mustParse(t, "year:2005..2009")})
+	if !yr.Match(nil, "", "2007 sedan 85000 miles") {
+		t.Error("year in range rejected")
+	}
+	if yr.Match(nil, "", "sedan 2050000 miles") {
+		t.Error("non-year number satisfied a year range")
+	}
+	if !yr.Match(map[string]string{"year": "2006"}, "", "") {
+		t.Error("year annotation in range rejected")
+	}
+	if yr.Match(map[string]string{"year": "1999"}, "", "2007 in text") {
+		t.Error("contradicting year annotation fell back to text")
+	}
+
+	ge := NewMatcher([]Predicate{mustParse(t, "salary>=50000")})
+	if !ge.Match(map[string]string{"minsalary": "60000"}, "", "") {
+		t.Error("ge bound rejected")
+	}
+}
+
+func TestMatcherConjunction(t *testing.T) {
+	m := NewMatcher([]Predicate{Eq("make", "ford"), mustParse(t, "price<10000")})
+	anns := map[string]string{"make": "ford", "maxprice": "9000"}
+	if !m.Match(anns, "", "") {
+		t.Error("both-satisfied doc rejected")
+	}
+	if m.Match(map[string]string{"make": "ford", "maxprice": "20000"}, "", "") {
+		t.Error("half-satisfied doc admitted")
+	}
+}
+
+func TestNilMatcherMatchesAll(t *testing.T) {
+	if NewMatcher(nil) != nil {
+		t.Error("empty predicate list compiled to a non-nil matcher")
+	}
+	var m *Matcher
+	if !m.Match(nil, "anything", "at all") {
+		t.Error("nil matcher rejected a document")
+	}
+}
+
+func TestIsNumber(t *testing.T) {
+	for _, s := range []string{"0", "98101", "2005"} {
+		if !IsNumber(s) {
+			t.Errorf("IsNumber(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "12a", "-5", "3.5", "ford"} {
+		if IsNumber(s) {
+			t.Errorf("IsNumber(%q) = true", s)
+		}
+	}
+}
+
+func TestKeyUsesCanonicalOrder(t *testing.T) {
+	// Key must not contain unsorted surprises: a reversed list keys
+	// identically and the rendered form round-trips through Parse.
+	preds := []Predicate{mustParse(t, "year:2005..2009"), Eq("make", "ford")}
+	rev := []Predicate{preds[1], preds[0]}
+	if Key(preds) != Key(rev) {
+		t.Fatal("key depends on order")
+	}
+	for _, part := range strings.Split(Key(preds), "\x01") {
+		if _, err := Parse(part); err != nil {
+			t.Errorf("key part %q does not re-parse: %v", part, err)
+		}
+	}
+}

@@ -3,10 +3,12 @@ package virtual
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"deepweb/internal/form"
 	"deepweb/internal/htmlx"
+	"deepweb/internal/query"
 	"deepweb/internal/textutil"
 	"deepweb/internal/webx"
 )
@@ -113,24 +115,21 @@ func (m *Mediator) Route(query string) []*Source {
 	return srcs
 }
 
-// Reformulate translates a keyword query into a binding for one source:
-// tokens bind to mediated attributes through value vocabularies, then
-// attributes translate to form inputs through the source mapping.
+// Reformulate translates a keyword query into a binding for one
+// source: tokens bind to mediated attributes through value
+// vocabularies — becoming equality predicates on the mediated schema —
+// then predicates translate to form inputs through bindPredicates.
 // Leftover content tokens go to a mapped free-keyword attribute if one
 // exists. ok is false when nothing binds — the query is outside what
 // the schema can express (the §3.2 fortuitous-query failure mode).
-func (m *Mediator) Reformulate(query string, src *Source) (form.Binding, bool) {
-	toks := textutil.Tokenize(query) // Tokenize lower-cases
-	b := form.Binding{}
+func (m *Mediator) Reformulate(kw string, src *Source) (form.Binding, bool) {
+	toks := textutil.Tokenize(kw) // Tokenize lower-cases
+	var preds []query.Predicate
 	var leftover []string
 	for _, t := range toks {
 		if attr, ok := src.Schema.attrByToken(t); ok {
-			if input, mapped := src.Mappings[attr]; mapped {
-				if prev, exists := b[input]; exists {
-					b[input] = prev + " " + t
-				} else {
-					b[input] = t
-				}
+			if _, mapped := src.Mappings[attr]; mapped {
+				preds = append(preds, query.Eq(attr, t))
 				continue
 			}
 		}
@@ -138,10 +137,39 @@ func (m *Mediator) Reformulate(query string, src *Source) (form.Binding, bool) {
 			leftover = append(leftover, t)
 		}
 	}
+	b := src.bindPredicates(preds)
 	if kwInput, ok := src.Mappings["keywords"]; ok && len(leftover) > 0 {
 		b[kwInput] = strings.Join(leftover, " ")
 	}
 	return b, len(b) > 0
+}
+
+// bindPredicates translates mediated-schema predicates into one form
+// binding through the source's attribute→input mapping: equality
+// predicates bind their value, comparisons bind their bound, ranges
+// bind their lower end (a single text input can carry one value; the
+// form's own semantics do the rest). Predicates on unmapped attributes
+// are skipped — the source simply can't express them. Multiple values
+// binding the same input concatenate in predicate order, so multi-token
+// values ("santa" "fe") reassemble.
+func (src *Source) bindPredicates(preds []query.Predicate) form.Binding {
+	b := form.Binding{}
+	for _, p := range preds {
+		input, ok := src.Mappings[p.Attr]
+		if !ok {
+			continue
+		}
+		val := p.Value
+		if p.Op == query.OpRange {
+			val = strconv.FormatFloat(p.Lo, 'f', -1, 64)
+		}
+		if prev, exists := b[input]; exists {
+			b[input] = prev + " " + val
+		} else {
+			b[input] = val
+		}
+	}
+	return b
 }
 
 func isRoutingWord(s *Schema, t string) bool {
@@ -211,23 +239,19 @@ func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
 	return answers, st
 }
 
-// StructuredQuery is the vertical-search entry point (§3.1): a typed
-// query over the mediated schema of one domain, fanned out to every
-// source of that domain and merged. Unlike keyword Answer, all
+// StructuredQuery is the vertical-search entry point (§3.1): typed
+// predicates over the mediated schema of one domain, fanned out to
+// every source of that domain and merged. Unlike keyword Answer, all
 // attribute semantics are preserved — this is where virtual integration
-// genuinely shines.
-func (m *Mediator) StructuredQuery(domain string, q map[string]string, k int) []Answer {
+// genuinely shines. Predicates share the internal/query DSL the search
+// surface speaks, so the same []Predicate drives either backend.
+func (m *Mediator) StructuredQuery(domain string, preds []query.Predicate, k int) []Answer {
 	var answers []Answer
 	for _, src := range m.Sources {
 		if src.Schema.Domain != domain {
 			continue
 		}
-		b := form.Binding{}
-		for attr, val := range q {
-			if input, ok := src.Mappings[attr]; ok {
-				b[input] = val
-			}
-		}
+		b := src.bindPredicates(preds)
 		if len(b) == 0 {
 			continue
 		}

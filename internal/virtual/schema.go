@@ -11,7 +11,11 @@
 // the behaviours experiments E2, E3 and E12 measure.
 package virtual
 
-import "strings"
+import (
+	"strings"
+
+	"deepweb/internal/query"
+)
 
 // Attribute is one element of a mediated schema.
 type Attribute struct {
@@ -48,7 +52,7 @@ func (s *Schema) attrByToken(tok string) (string, bool) {
 			}
 		}
 	}
-	if isNumber(tok) {
+	if query.IsNumber(tok) {
 		for _, a := range s.Attributes {
 			if a.Numeric {
 				return a.Name, true
@@ -56,18 +60,6 @@ func (s *Schema) attrByToken(tok string) (string, bool) {
 		}
 	}
 	return "", false
-}
-
-func isNumber(s string) bool {
-	if s == "" {
-		return false
-	}
-	for _, r := range s {
-		if r < '0' || r > '9' {
-			return false
-		}
-	}
-	return true
 }
 
 // matchScore scores how well a form input (name+label) maps to the

@@ -7,6 +7,7 @@ import (
 
 	"deepweb/internal/form"
 	"deepweb/internal/htmlx"
+	"deepweb/internal/query"
 	"deepweb/internal/webgen"
 	"deepweb/internal/webx"
 )
@@ -180,13 +181,42 @@ func TestStructuredQueryVertical(t *testing.T) {
 			break
 		}
 	}
-	answers := m.StructuredQuery("usedcars", map[string]string{"make": mk}, 50)
+	answers := m.StructuredQuery("usedcars", []query.Predicate{query.Eq("make", mk)}, 50)
 	if len(answers) == 0 {
 		t.Fatalf("structured query for make=%s found nothing", mk)
 	}
 	for _, a := range answers {
 		if !strings.Contains(a.Record, mk) {
 			t.Errorf("record lacks make %s: %q", mk, a.Record)
+		}
+	}
+}
+
+func TestBindPredicates(t *testing.T) {
+	src := &Source{Mappings: map[string]string{
+		"make": "mk", "price": "maxprice", "year": "yr",
+	}}
+	parse := func(s string) query.Predicate {
+		p, err := query.Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		return p
+	}
+	b := src.bindPredicates([]query.Predicate{
+		query.Eq("make", "santa"),
+		query.Eq("make", "fe"), // same input: concatenates in order
+		parse("price<=9000"),
+		parse("year:2004..2007"),
+		query.Eq("color", "red"), // unmapped: skipped
+	})
+	want := map[string]string{"mk": "santa fe", "maxprice": "9000", "yr": "2004"}
+	if len(b) != len(want) {
+		t.Fatalf("binding = %v, want %v", b, want)
+	}
+	for in, v := range want {
+		if b[in] != v {
+			t.Errorf("binding[%s] = %q, want %q", in, b[in], v)
 		}
 	}
 }

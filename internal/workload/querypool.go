@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"deepweb/internal/core"
 	"deepweb/internal/datagen"
 	"deepweb/internal/dist"
 )
@@ -69,6 +70,81 @@ func QueryPool(seed int64, n int) []string {
 		}
 		seen[q] = true
 		pool = append(pool, q)
+	}
+	return pool
+}
+
+// filteredQueryTemplates are the filtered-query shapes
+// QueryPoolFiltered splices in: a keyword query plus one typed
+// predicate in the in-query DSL of internal/query ("price<9900",
+// "year:1990..2000"), so the same string drives both /v1/search?q=
+// and an in-process query.Extract + engine.Search. price() and year()
+// draw from the core typed-value ladders.
+var filteredQueryTemplates = []func(r *rand.Rand, price, year func() string) string{
+	func(r *rand.Rand, price, _ func() string) string {
+		return fmt.Sprintf("used %s price<%s",
+			datagen.CarMakes[r.Intn(len(datagen.CarMakes))], price())
+	},
+	func(r *rand.Rand, price, _ func() string) string {
+		return fmt.Sprintf("homes in %s price<%s",
+			datagen.USCities[r.Intn(len(datagen.USCities))], price())
+	},
+	func(r *rand.Rand, _, year func() string) string {
+		y1, y2 := year(), year()
+		if y1 > y2 { // 4-digit years order lexically
+			y1, y2 = y2, y1
+		}
+		return fmt.Sprintf("%s books year:%s..%s",
+			datagen.BookSubjects[r.Intn(len(datagen.BookSubjects))], y1, y2)
+	},
+	func(r *rand.Rand, price, _ func() string) string {
+		return fmt.Sprintf("%s jobs salary>=%s",
+			datagen.JobTitles[r.Intn(len(datagen.JobTitles))], price())
+	},
+	func(r *rand.Rand, _, year func() string) string {
+		mi := r.Intn(len(datagen.CarMakes))
+		return fmt.Sprintf("used %s %s year>%s", datagen.CarMakes[mi],
+			datagen.CarModels[mi][r.Intn(len(datagen.CarModels[mi]))], year())
+	},
+}
+
+// QueryPoolFiltered is QueryPool with a fraction frac of the pool
+// replaced by filtered queries: keywords plus one typed predicate whose
+// value is drawn Zipfian from the core typed-value ladders, so filter
+// values are head-heavy the way real structured traffic is. frac = 0
+// returns exactly QueryPool(seed, n), keeping existing BENCH_load
+// artifacts comparable. Replacements spread evenly across popularity
+// ranks, so filtered traffic shows up at the head and the tail alike.
+func QueryPoolFiltered(seed int64, n int, frac float64) []string {
+	pool := QueryPool(seed, n)
+	nf := int(frac*float64(n) + 0.5)
+	if nf <= 0 || len(pool) == 0 {
+		return pool
+	}
+	if nf > n {
+		nf = n
+	}
+	r := rand.New(rand.NewSource(seed + 1))
+	prices := core.TypedValues(core.TypePrice, 12)
+	years := core.TypedValues(core.TypeDate, 12)
+	zPrice := dist.NewZipf(seed+2, 1.05, uint64(len(prices)))
+	zYear := dist.NewZipf(seed+3, 1.05, uint64(len(years)))
+	price := func() string { return prices[zPrice.Next()] }
+	year := func() string { return years[zYear.Next()] }
+	seen := make(map[string]bool, n)
+	for _, q := range pool {
+		seen[q] = true
+	}
+	for i := 0; i < nf; i++ {
+		var q string
+		for t := i; ; t++ {
+			q = filteredQueryTemplates[t%len(filteredQueryTemplates)](r, price, year)
+			if !seen[q] {
+				break
+			}
+		}
+		seen[q] = true
+		pool[i*n/nf] = q
 	}
 	return pool
 }
