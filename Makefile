@@ -2,7 +2,13 @@
 # check a PR will face is reproducible with one command before pushing.
 GO ?= go
 
-.PHONY: verify fmt vet build test bench fuzz lint examples load chaos
+# Lint-tool pins, the single source of truth shared with the CI lint
+# job (which runs these targets rather than restating the versions).
+# Bump deliberately; @latest made the lint gate non-reproducible.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: verify fmt vet build test bench fuzz lint deepvet staticcheck govulncheck examples load chaos
 
 # verify = the CI `test` job: gofmt, vet, build, race-enabled tests.
 verify: fmt vet build test
@@ -17,8 +23,12 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test and subtest execution order, so hidden
+# inter-test state dependencies fail loudly instead of riding on
+# declaration order. The seed is printed on failure; reproduce with
+# `go test -race -shuffle=<seed> <pkg>`.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench = the hot-path benchmark set CI diffs with benchstat (text
 # pipeline, index add/search ± tombstones, snapshot save/load, refresh,
@@ -60,10 +70,23 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME) ./internal/textutil
 
-# lint = the CI lint job. Installs the pinned-by-latest tools, so it
-# needs network the first time.
-lint:
-	$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
+# lint = the CI lint job: the project's own analyzers first (no
+# install, works offline), then the pinned external tools (network
+# needed the first time; pinned versions make the module cache and
+# CI's cache reusable across runs).
+lint: deepvet staticcheck govulncheck
+
+# deepvet = the five project-invariant analyzers (internal/analysis)
+# mounted by cmd/deepvet: epochsafe, clockinject, envelope, ctxflow,
+# errcmp. Zero external dependencies — this is the one lint gate that
+# runs anywhere the repo builds.
+deepvet:
+	$(GO) run ./cmd/deepvet ./...
+
+staticcheck:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	staticcheck ./...
-	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+
+govulncheck:
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 	govulncheck ./...

@@ -75,7 +75,7 @@ func servingEngine(b *testing.B) *engine.Engine {
 			return
 		}
 		e.Workers = 4
-		e.IndexSurfaceWeb()
+		e.IndexSurfaceWeb(context.Background())
 		if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			servingBench.err = err
 			return
@@ -153,7 +153,7 @@ func BenchmarkE2SiteLoad(b *testing.B) {
 	var rep experiments.E2Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E2SiteLoad(7, 1, 150, 50)
+		rep, err = experiments.E2SiteLoad(context.Background(), 7, 1, 150, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +167,7 @@ func BenchmarkE3Fortuitous(b *testing.B) {
 	var rep experiments.E3Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E3Fortuitous(7, 400)
+		rep, err = experiments.E3Fortuitous(context.Background(), 7, 400)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func BenchmarkE4URLScaling(b *testing.B) {
 	var rep experiments.E4Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E4URLScaling(7, []int{100, 400})
+		rep, err = experiments.E4URLScaling(context.Background(), 7, []int{100, 400})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +195,7 @@ func BenchmarkE5TypedInputs(b *testing.B) {
 	var rep experiments.E5Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E5TypedInputs(7, 10000, 150)
+		rep, err = experiments.E5TypedInputs(context.Background(), 7, 10000, 150)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func BenchmarkE6Probing(b *testing.B) {
 	var rep experiments.E6Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E6Probing(7, 300, []int{100})
+		rep, err = experiments.E6Probing(context.Background(), 7, 300, []int{100})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func BenchmarkE7Ranges(b *testing.B) {
 	var rep experiments.E7Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E7Ranges(7, 300)
+		rep, err = experiments.E7Ranges(context.Background(), 7, 300)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +237,7 @@ func BenchmarkE8DBSelection(b *testing.B) {
 	var rep experiments.E8Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E8DBSelection(7, 400)
+		rep, err = experiments.E8DBSelection(context.Background(), 7, 400)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -250,7 +250,7 @@ func BenchmarkE9Indexability(b *testing.B) {
 	var rep experiments.E9Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E9Indexability(7, 600)
+		rep, err = experiments.E9Indexability(context.Background(), 7, 600)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,7 +264,7 @@ func BenchmarkE10Coverage(b *testing.B) {
 	var rep experiments.E10Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E10Coverage(7, []int{300})
+		rep, err = experiments.E10Coverage(context.Background(), 7, []int{300})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,7 +279,7 @@ func BenchmarkE11Semantics(b *testing.B) {
 	var rep experiments.E11Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E11Semantics(7, 2, 80)
+		rep, err = experiments.E11Semantics(context.Background(), 7, 2, 80)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +293,7 @@ func BenchmarkE12GetPost(b *testing.B) {
 	var rep experiments.E12Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E12GetPost(7, 2, 100, 3)
+		rep, err = experiments.E12GetPost(context.Background(), 7, 2, 100, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -307,7 +307,7 @@ func BenchmarkE13Annotations(b *testing.B) {
 	var rep experiments.E13Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E13LostSemantics(7, 700)
+		rep, err = experiments.E13LostSemantics(context.Background(), 7, 700)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -321,7 +321,7 @@ func BenchmarkE14Extraction(b *testing.B) {
 	var rep experiments.E14Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = experiments.E14Extraction(7, 500)
+		rep, err = experiments.E14Extraction(context.Background(), 7, 500)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -152,7 +152,7 @@ func main() {
 		// pages as well as surfaced ones. (The corpus is deepcrawl's —
 		// a cold deepsearch run differs in crawl order and follow
 		// depth, so ids and counts need not match a cold start.)
-		e.IndexSurfaceWeb()
+		e.IndexSurfaceWeb(context.Background())
 		start := time.Now()
 		if err := e.Save(*out); err != nil {
 			log.Fatal(err)
@@ -160,7 +160,7 @@ func main() {
 		fmt.Printf("snapshot: index (%d docs, %d shards) saved to %s in %v\n",
 			e.Index.Len(), e.Index.NumShards(), *out, time.Since(start).Round(time.Millisecond))
 		start = time.Now()
-		sem := e.BuildSemantics(10000)
+		sem := e.BuildSemantics(context.Background(), 10000)
 		if err := sem.Save(*out); err != nil {
 			log.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func runRefresh(worldCfg webgen.WorldConfig, req engine.RefreshRequest, dir, out
 	if err := e.Save(out); err != nil {
 		log.Fatal(err)
 	}
-	sem := e.BuildSemantics(10000)
+	sem := e.BuildSemantics(context.Background(), 10000)
 	if err := sem.Save(out); err != nil {
 		log.Fatal(err)
 	}

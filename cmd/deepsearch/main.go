@@ -108,7 +108,7 @@ func main() {
 		e.Workers = *workers
 		log.Printf("phase build-world: %v", time.Since(start).Round(time.Millisecond))
 		start = time.Now()
-		e.IndexSurfaceWeb()
+		e.IndexSurfaceWeb(context.Background())
 		log.Printf("phase index-surface-web: %v", time.Since(start).Round(time.Millisecond))
 		start = time.Now()
 		if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -55,55 +56,55 @@ func main() {
 		return experiments.E1LongTail(cfg), nil
 	})
 	run("E2", func() (fmt.Stringer, error) {
-		return wrap(experiments.E2SiteLoad(*seed, 2, 600/scale, 200/scale))
+		return wrap(experiments.E2SiteLoad(context.Background(), *seed, 2, 600/scale, 200/scale))
 	})
 	run("E3", func() (fmt.Stringer, error) {
-		return wrap(experiments.E3Fortuitous(*seed, 1600/scale))
+		return wrap(experiments.E3Fortuitous(context.Background(), *seed, 1600/scale))
 	})
 	run("E4", func() (fmt.Stringer, error) {
 		sizes := []int{50, 200, 800, 3200}
 		if *quick {
 			sizes = []int{50, 200, 800}
 		}
-		return wrap(experiments.E4URLScaling(*seed, sizes))
+		return wrap(experiments.E4URLScaling(context.Background(), *seed, sizes))
 	})
 	run("E5", func() (fmt.Stringer, error) {
-		return wrap(experiments.E5TypedInputs(*seed, 20000/scale, 400/scale))
+		return wrap(experiments.E5TypedInputs(context.Background(), *seed, 20000/scale, 400/scale))
 	})
 	run("E6", func() (fmt.Stringer, error) {
 		budgets := []int{20, 50, 100, 200, 400}
 		if *quick {
 			budgets = []int{20, 80, 200}
 		}
-		return wrap(experiments.E6Probing(*seed, 1000/scale, budgets))
+		return wrap(experiments.E6Probing(context.Background(), *seed, 1000/scale, budgets))
 	})
 	run("E7", func() (fmt.Stringer, error) {
-		return wrap(experiments.E7Ranges(*seed, 800/scale))
+		return wrap(experiments.E7Ranges(context.Background(), *seed, 800/scale))
 	})
 	run("E8", func() (fmt.Stringer, error) {
-		return wrap(experiments.E8DBSelection(*seed, 1200/scale))
+		return wrap(experiments.E8DBSelection(context.Background(), *seed, 1200/scale))
 	})
 	run("E9", func() (fmt.Stringer, error) {
-		return wrap(experiments.E9Indexability(*seed, 1600/scale))
+		return wrap(experiments.E9Indexability(context.Background(), *seed, 1600/scale))
 	})
 	run("E10", func() (fmt.Stringer, error) {
 		sizes := []int{100, 400, 1600}
 		if *quick {
 			sizes = []int{100, 400}
 		}
-		return wrap(experiments.E10Coverage(*seed, sizes))
+		return wrap(experiments.E10Coverage(context.Background(), *seed, sizes))
 	})
 	run("E11", func() (fmt.Stringer, error) {
-		return wrap(experiments.E11Semantics(*seed, 2, 240/scale))
+		return wrap(experiments.E11Semantics(context.Background(), *seed, 2, 240/scale))
 	})
 	run("E12", func() (fmt.Stringer, error) {
-		return wrap(experiments.E12GetPost(*seed, 2, 320/scale, 3))
+		return wrap(experiments.E12GetPost(context.Background(), *seed, 2, 320/scale, 3))
 	})
 	run("E13", func() (fmt.Stringer, error) {
-		return wrap(experiments.E13LostSemantics(*seed, 2000/scale))
+		return wrap(experiments.E13LostSemantics(context.Background(), *seed, 2000/scale))
 	})
 	run("E14", func() (fmt.Stringer, error) {
-		return wrap(experiments.E14Extraction(*seed, 1200/scale))
+		return wrap(experiments.E14Extraction(context.Background(), *seed, 1200/scale))
 	})
 }
 

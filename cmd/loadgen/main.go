@@ -337,7 +337,7 @@ func buildEngine(snapshot string, seed int64, sites, rows, workers, cacheCap int
 			log.Fatal(err)
 		}
 		e.Workers = workers
-		e.IndexSurfaceWeb()
+		e.IndexSurfaceWeb(context.Background())
 		if _, err := e.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 			log.Fatal(err)
 		}

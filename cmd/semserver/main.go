@@ -79,7 +79,7 @@ func main() {
 		}
 		log.Printf("phase build-world: %v", time.Since(start).Round(time.Millisecond))
 		start = time.Now()
-		sem = e.BuildSemantics(10000)
+		sem = e.BuildSemantics(context.Background(), 10000)
 		log.Printf("phase crawl-aggregate: %v", time.Since(start).Round(time.Millisecond))
 	}
 	log.Printf("aggregated %d pages → %d tables (%d relational), %d schemas, %d attributes",

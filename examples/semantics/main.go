@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sem := e.BuildSemantics(5000)
+	sem := e.BuildSemantics(context.Background(), 5000)
 	fmt.Printf("crawled %d pages → %d relational tables, %d distinct attributes\n\n",
 		sem.PagesCrawled, len(sem.Tables), len(sem.ACS.Freq))
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	m := virtual.NewMediator(e.Fetch)
 	registered := 0
 	for _, site := range e.Web.Sites() {
-		f, err := engine.FormOf(e.Fetch, site)
+		f, err := engine.FormOf(context.Background(), e.Fetch, site)
 		if err != nil {
 			continue
 		}
@@ -38,13 +39,13 @@ func main() {
 
 	// Structured query over the usedcars vertical: slice by make.
 	fmt.Println("structured query usedcars[make:ford] (first 5 of merged live results):")
-	for i, a := range m.StructuredQuery("usedcars", []query.Predicate{query.Eq("make", "ford")}, 5) {
+	for i, a := range m.StructuredQuery(context.Background(), "usedcars", []query.Predicate{query.Eq("make", "ford")}, 5) {
 		fmt.Printf("  %d. [%s] %s\n", i+1, a.Site, a.Record)
 	}
 
 	// Keyword answering with routing + reformulation.
 	fmt.Println("\nkeyword query 'homes in seattle' (routed + reformulated live):")
-	answers, st := m.Answer("homes in seattle", 5)
+	answers, st := m.Answer(context.Background(), "homes in seattle", 5)
 	fmt.Printf("  routed to %d sources, %d live submissions\n", st.Routed, st.Submitted)
 	for i, a := range answers {
 		fmt.Printf("  %d. [%s] %s\n", i+1, a.Site, a.Record)
@@ -53,7 +54,7 @@ func main() {
 	// The §3.2 fortuitous query: the mediator understands the faculty
 	// form perfectly — and still cannot answer this.
 	fmt.Println("\nkeyword query 'sigmod innovations award professor':")
-	answers, st = m.Answer("sigmod innovations award professor", 5)
+	answers, st = m.Answer(context.Background(), "sigmod innovations award professor", 5)
 	fmt.Printf("  routed to %d sources, %d reformulable, %d answers", st.Routed, st.Submitted, len(answers))
 	fmt.Println("  ← the schema cannot express 'award'; surfacing answers this (see examples/quickstart)")
 }

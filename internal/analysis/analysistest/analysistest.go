@@ -1,0 +1,252 @@
+// Package analysistest runs a deepvet analyzer over golden packages
+// under a testdata/src tree and checks its diagnostics against
+// expectations written in the source itself, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	httpError(w, 400)        // want `use httpx\.WriteError`
+//
+// A `// want "re1" "re2"` comment expects exactly those diagnostics
+// (as unanchored regexps) on its line; every diagnostic must be
+// wanted and every want must be matched, so each golden package pins
+// both the flagged and the allowed cases.
+//
+// Golden packages are plain GOPATH-style trees: testdata/src/a
+// imports "a"'s sibling testdata/src/index as "index", and the
+// analyzers match project packages by path suffix (analysis.PkgIs),
+// so the stand-ins exercise the same code paths as the real module.
+// Standard-library imports are resolved with export data from
+// `go list -export`, exactly like the main loader.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"deepweb/internal/analysis"
+)
+
+// Run loads each named golden package from testdata/src, applies the
+// analyzer, and reports mismatches against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	l := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		loaded:   map[string]*analysis.Package{},
+	}
+	var pkgs []*analysis.Package
+	for _, name := range pkgNames {
+		pkg, err := l.load(name)
+		if err != nil {
+			t.Fatalf("loading golden package %q: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	wants := collectWants(t, l.fset, pkgs)
+
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// loader resolves golden packages recursively, falling back to
+// `go list -export` data for everything outside testdata/src.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	loaded   map[string]*analysis.Package
+	std      types.Importer
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: (*testImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	pkg := &analysis.Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// testImporter resolves sibling golden packages from testdata and
+// everything else through stdlib export data.
+type testImporter loader
+
+func (imp *testImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(imp)
+	if _, err := os.Stat(filepath.Join(l.testdata, "src", filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if l.std == nil {
+		std, err := stdImporter(l.fset, path)
+		if err != nil {
+			return nil, err
+		}
+		l.std = std
+	}
+	return l.std.Import(path)
+}
+
+// stdImporter builds a gc importer over export data for root and its
+// dependency closure. Later Import calls for packages outside that
+// closure re-list lazily via the lookup function's second chance.
+func stdImporter(fset *token.FileSet, root string) (types.Importer, error) {
+	exports := map[string]string{}
+	if err := listExports(exports, root); err != nil {
+		return nil, err
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if _, ok := exports[path]; !ok {
+			if err := listExports(exports, path); err != nil {
+				return nil, err
+			}
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}), nil
+}
+
+func listExports(exports map[string]string, pkgs ...string) error {
+	args := append([]string{"list", "-export", "-deps", "-f", `{{.ImportPath}} {{.Export}}`}, pkgs...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %v: %w", pkgs, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, file, ok := strings.Cut(line, " ")
+		if ok && file != "" {
+			exports[path] = file
+		}
+	}
+	return nil
+}
+
+// wantSet maps "file:line" to the not-yet-matched expectations there.
+type wantSet map[string][]*want
+
+type want struct {
+	pos     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+func (ws wantSet) match(key, message string) bool {
+	for _, w := range ws[key] {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	var missing []string
+	for _, list := range ws {
+		for _, w := range list {
+			if !w.matched {
+				missing = append(missing, fmt.Sprintf("%s: expected diagnostic matching %q, got none", w.pos, w.re))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+// wantRE pulls the quoted regexps off a want comment: both "..." and
+// `...` forms, in order.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) wantSet {
+	t.Helper()
+	ws := wantSet{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, q := range wantRE.FindAllString(rest, -1) {
+						pat := q
+						if strings.HasPrefix(q, `"`) {
+							unq, err := strconv.Unquote(q)
+							if err != nil {
+								t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+							}
+							pat = unq
+						} else {
+							pat = strings.Trim(q, "`")
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						ws[key] = append(ws[key], &want{pos: pos.String(), re: re})
+					}
+				}
+			}
+		}
+	}
+	return ws
+}

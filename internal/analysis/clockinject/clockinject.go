@@ -1,0 +1,154 @@
+// Package clockinject keeps the chaos and resilience stacks
+// deterministic by construction.
+//
+// The PR-7 convergence property — a chaos-injected surfacing pass plus
+// bounded refreshes equals the fault-free corpus bit for bit — only
+// holds because every source of nondeterminism in internal/resilient
+// and internal/webgen is injected: backoff jitter through
+// Options.Rand, waiting through Options.Sleep, the breaker clock
+// through Options.Now, and fault streams through per-host seeded
+// rand.Rand instances. One stray time.Now() or global-source
+// rand.Float64() reintroduces wall-clock and process-global state,
+// and the property tests (and `make chaos`) turn flaky in ways that
+// reproduce on no one's machine. clockinject flags, inside those two
+// packages:
+//
+//   - calls to time.Now, time.Sleep, time.Since, time.After, time.Tick
+//   - package-level math/rand functions (the process-global source:
+//     rand.Intn, rand.Float64, rand.Shuffle, …)
+//
+// Explicitly seeded generators (rand.New(rand.NewSource(seed)), and
+// methods on a *rand.Rand value) are the sanctioned mechanism and stay
+// legal, as does wiring the real clock into a hook default — an
+// assignment or composite-literal entry whose target is a field named
+// Rand, Sleep or Now (e.g. `opts.Now = time.Now` in NewTransport).
+package clockinject
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"deepweb/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clockinject",
+	Doc:  "resilient/webgen must use injected Rand/Sleep/Now hooks, not the wall clock or global rand",
+	Run:  run,
+}
+
+// scope lists the packages whose determinism contract is enforced.
+var scope = []string{"resilient", "webgen"}
+
+// timeFuncs are the wall-clock entry points.
+var timeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "After": true, "Tick": true,
+}
+
+// hookFields are the injection points; references on the right-hand
+// side of an assignment into one of these are default wiring, not a
+// violation.
+var hookFields = map[string]bool{"Rand": true, "Sleep": true, "Now": true}
+
+func run(pass *analysis.Pass) {
+	ok := false
+	for _, name := range scope {
+		if analysis.PkgIs(pass.Path, name) {
+			ok = true
+		}
+	}
+	if !ok {
+		return
+	}
+	for _, f := range pass.Files {
+		sanctioned := hookWiringRanges(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id := sel.Sel
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			var what string
+			switch fn.Pkg().Path() {
+			case "time":
+				if timeFuncs[fn.Name()] {
+					what = "the wall clock"
+				}
+			case "math/rand", "math/rand/v2":
+				if fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewZipf" && fn.Name() != "NewPCG" {
+					what = "the process-global rand source"
+				}
+			}
+			if what == "" {
+				return true
+			}
+			if inRanges(sanctioned, id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s reaches %s directly; chaos/backoff determinism requires the injectable Rand/Sleep/Now hooks (or an explicitly seeded rand.New)",
+				fn.Pkg().Name(), fn.Name(), what)
+			return true
+		})
+	}
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// hookWiringRanges collects the RHS spans of assignments and
+// composite-literal entries whose target is a hook field, e.g.
+//
+//	opts.Now = time.Now
+//	Options{Rand: rand.Float64}
+//
+// References inside those spans are the one sanctioned way the real
+// clock enters the package.
+func hookWiringRanges(f *ast.File) []posRange {
+	var ranges []posRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if hookFields[targetName(lhs)] {
+					ranges = append(ranges, posRange{n.Rhs[i].Pos(), n.Rhs[i].End()})
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && hookFields[key.Name] {
+				ranges = append(ranges, posRange{n.Value.Pos(), n.Value.End()})
+			}
+		}
+		return true
+	})
+	return ranges
+}
+
+func targetName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func inRanges(ranges []posRange, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r.lo && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"deepweb/internal/analysis/analysistest"
+	"deepweb/internal/analysis/clockinject"
+)
+
+func TestClockinject(t *testing.T) {
+	analysistest.Run(t, "testdata", clockinject.Analyzer, "resilient", "webgen", "other")
+}

@@ -1,0 +1,12 @@
+// Package other is outside the determinism scope: wall-clock use is
+// legal here (e.g. the load harness timestamps real measurements).
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() (time.Time, int) {
+	return time.Now(), rand.Intn(10) // ok: not a scoped package
+}

@@ -1,0 +1,65 @@
+// Package resilient exercises clockinject in the first scoped package:
+// hook defaults are legal, stray wall-clock and global-rand calls are
+// not.
+package resilient
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Options mirrors the real package's injection points.
+type Options struct {
+	Rand  func() float64
+	Sleep func(time.Duration)
+	Now   func() time.Time
+}
+
+// NewTransport wires the real clock into the hooks — the one
+// sanctioned place these references appear.
+func NewTransport(opts Options) *Options {
+	if opts.Rand == nil {
+		opts.Rand = rand.Float64 // ok: hook default wiring (assignment)
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep // ok: hook default wiring
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now // ok: hook default wiring
+	}
+	return &opts
+}
+
+// Defaults wires hooks through a composite literal instead.
+func Defaults() Options {
+	return Options{
+		Rand:  rand.Float64, // ok: hook default wiring (literal)
+		Sleep: time.Sleep,   // ok
+		Now:   time.Now,     // ok
+	}
+}
+
+func backoff(o *Options) time.Duration {
+	jitter := o.Rand()                   // ok: injected hook
+	o.Sleep(time.Duration(jitter * 1e6)) // ok: injected hook
+	deadline := o.Now().Add(time.Second) // ok: injected hook
+	_ = deadline
+	time.Sleep(time.Millisecond)          // want `time\.Sleep reaches the wall clock`
+	_ = time.Now()                        // want `time\.Now reaches the wall clock`
+	_ = time.Since(o.Now())               // want `time\.Since reaches the wall clock`
+	<-time.After(time.Millisecond)        // want `time\.After reaches the wall clock`
+	return time.Duration(rand.Int63n(10)) // want `rand\.Int63n reaches the process-global rand source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded constructor
+	if r.Float64() < 0.5 {              // ok: method on a seeded *rand.Rand
+		return r.Intn(10) // ok
+	}
+	return rand.Intn(10) // want `rand\.Intn reaches the process-global rand source`
+}
+
+func suppressed() time.Time {
+	//deepvet:allow clockinject -- golden test for the suppression path
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package webgen proves the second scoped package is held to the same
+// determinism contract.
+package webgen
+
+import "math/rand"
+
+// Chaos mirrors the real package: per-host fault streams come from
+// seeded generators, never the process-global source.
+func faults(hostSeed int64) []float64 {
+	r := rand.New(rand.NewSource(hostSeed)) // ok: seeded
+	out := make([]float64, 3)
+	for i := range out {
+		out[i] = r.Float64() // ok: seeded generator method
+	}
+	out[0] += rand.Float64() // want `rand\.Float64 reaches the process-global rand source`
+	return out
+}
+
+// zipf shows the seeded distribution constructor staying legal.
+func zipf(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 1000) // ok: constructor over a seeded source
+	return z.Uint64()
+}

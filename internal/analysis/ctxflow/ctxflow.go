@@ -1,0 +1,147 @@
+// Package ctxflow enforces the context discipline the PR-5 API v2
+// migration established: cancellation flows through every I/O path as
+// an explicit leading parameter, never out of band.
+//
+// The engine, fetch stack and serving tier all promise that a dead
+// client stops costing work (request cancellation reaches BM25 term
+// loops and retry backoffs). That chain is only as strong as its
+// weakest exported function: one wrapper that conjures
+// context.Background() strands every caller above it with no way to
+// cancel, and a ctx squirreled into a struct outlives the request it
+// belonged to. ctxflow flags, in every non-main package:
+//
+//   - an exported function or method whose context.Context parameter
+//     is not first,
+//   - an exported function or method with no leading ctx that calls
+//     context.Background()/context.TODO() or performs HTTP I/O
+//     (net/http Client/Transport calls) — it is swallowing
+//     cancellation its callers can never supply,
+//   - a struct field of type context.Context (contexts are
+//     per-request values, not state).
+//
+// Unexported helpers and nil-ctx fallbacks inside functions that do
+// take a leading ctx stay legal: the contract is about the exported
+// surface callers are stuck with.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"deepweb/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported I/O paths take a leading context.Context; contexts are never stored",
+	Run:  run,
+}
+
+// httpIOFuncs are net/http entry points that open a network exchange:
+// the package-level convenience functions and http.Client's methods.
+// (http.Header.Get and friends share names but have receivers other
+// than Client, so the check below keys on the receiver type.)
+var httpIOFuncs = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Types.Name() == "main" {
+		return // binaries own their root context
+	}
+	for _, f := range pass.Files {
+		checkStructFields(pass, f)
+	}
+	analysis.FuncDecls(pass.Files, func(fd *ast.FuncDecl) {
+		fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok || !fd.Name.IsExported() {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		checkParamOrder(pass, fd, sig)
+		if !analysis.HasLeadingContext(sig) && !carriesRequestContext(sig) {
+			checkBodyIO(pass, fd)
+		}
+	})
+}
+
+// checkParamOrder flags a ctx parameter hiding anywhere but first.
+func checkParamOrder(pass *analysis.Pass, fd *ast.FuncDecl, sig *types.Signature) {
+	params := sig.Params()
+	for i := 1; i < params.Len(); i++ {
+		if analysis.IsContextType(params.At(i).Type()) {
+			pass.Reportf(params.At(i).Pos(),
+				"%s takes context.Context as parameter %d; context.Context must be the first parameter", fd.Name.Name, i+1)
+		}
+	}
+}
+
+// checkBodyIO walks the body of an exported no-ctx function for calls
+// that need a context: conjuring one, or doing HTTP I/O without one.
+func checkBodyIO(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+			pass.Reportf(call.Pos(),
+				"exported %s constructs context.%s, so callers can never cancel it; take a leading context.Context instead",
+				fd.Name.Name, fn.Name())
+		case fn.Pkg().Path() == "net/http" && httpIOFuncs[fn.Name()] && isClientCall(fn):
+			pass.Reportf(call.Pos(),
+				"exported %s performs HTTP I/O via http.%s without a leading context.Context; the request outlives its caller's cancellation",
+				fd.Name.Name, fn.Name())
+		}
+		return true
+	})
+}
+
+// carriesRequestContext reports whether a parameter already delivers
+// the caller's context by another sanctioned road: an *http.Request
+// (RoundTrippers and handlers read req.Context()).
+func carriesRequestContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if analysis.IsNamedType(params.At(i).Type(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// isClientCall reports whether fn is a package-level net/http function
+// or an http.Client method — the forms that actually open an exchange.
+func isClientCall(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return true
+	}
+	return analysis.IsNamedType(sig.Recv().Type(), "net/http", "Client")
+}
+
+// checkStructFields flags context.Context struct fields.
+func checkStructFields(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if ok && analysis.IsContextType(tv.Type) {
+				pass.Reportf(field.Pos(),
+					"context.Context stored in a struct field outlives the request it belongs to; pass ctx per call (see https://go.dev/blog/context-and-structs)")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,77 @@
+// Package a exercises ctxflow: exported I/O surfaces, parameter order,
+// and stored contexts.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+// BadHolder squirrels a context into state.
+type BadHolder struct {
+	name string
+	ctx  context.Context // want `context\.Context stored in a struct field`
+}
+
+// GoodHolder carries only per-call state.
+type GoodHolder struct {
+	hc *http.Client
+}
+
+// Fetch does HTTP I/O with no way for callers to cancel it.
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want `exported Fetch performs HTTP I/O via http\.Get`
+}
+
+// Conjure strands its callers on an uncancelable context.
+func Conjure() context.Context {
+	return context.Background() // want `exported Conjure constructs context\.Background`
+}
+
+// Todo is the same hazard spelled differently.
+func Todo() context.Context {
+	return context.TODO() // want `exported Todo constructs context\.TODO`
+}
+
+// Misplaced hides the context mid-signature.
+func Misplaced(name string, ctx context.Context) {} // want `context\.Context must be the first parameter`
+
+// Good threads a leading context; the Do call inside is fine.
+func Good(ctx context.Context, hc *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return hc.Do(req) // ok: leading ctx present
+}
+
+// GoodFallback shows the sanctioned nil-ctx fallback inside a function
+// that does take a leading ctx.
+func GoodFallback(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // ok: fallback under a leading ctx
+	}
+	return ctx
+}
+
+// RoundTrip-shaped functions carry the context inside *http.Request.
+func (h *GoodHolder) RoundTrip(req *http.Request) (*http.Response, error) {
+	return h.hc.Do(req) // ok: *http.Request delivers the context
+}
+
+// HeaderValue is I/O-free: http.Header.Get shares a name with the
+// client call but has the wrong receiver.
+func HeaderValue(h http.Header) string {
+	return h.Get("X-Generation") // ok: not an http.Client call
+}
+
+// unexported helpers own their context choices.
+func helper() context.Context {
+	return context.Background() // ok: not exported surface
+}
+
+// Suppressed is the escape hatch with a reason.
+func Suppressed() context.Context {
+	//deepvet:allow ctxflow -- golden test for the suppression path
+	return context.Background()
+}

@@ -1,0 +1,22 @@
+// Command cmdmain proves package main is exempt: binaries own their
+// root context.
+package main
+
+import (
+	"context"
+	"net/http"
+)
+
+func Run() error {
+	ctx := context.Background() // ok: package main
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://localhost/", nil)
+	if err != nil {
+		return err
+	}
+	_, err = http.DefaultClient.Do(req)
+	return err
+}
+
+func main() {
+	_ = Run()
+}

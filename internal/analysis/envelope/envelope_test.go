@@ -1,0 +1,12 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"deepweb/internal/analysis/analysistest"
+	"deepweb/internal/analysis/envelope"
+)
+
+func TestEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", envelope.Analyzer, "api", "semserv", "other")
+}

@@ -1,0 +1,14 @@
+// Package other is outside the envelope scope: the same constructs are
+// legal here (e.g. the webgen virtual sites write raw HTML bodies).
+package other
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "fine here", 500) // ok: not a /v1 package
+	fmt.Fprintf(w, "<html>%s</html>", "body")
+	w.WriteHeader(204)
+}

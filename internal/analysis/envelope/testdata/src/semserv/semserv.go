@@ -1,0 +1,9 @@
+// Package semserv proves the second scoped package is held to the same
+// contract.
+package semserv
+
+import "net/http"
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", 500) // want `use httpx\.WriteError`
+}

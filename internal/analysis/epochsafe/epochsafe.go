@@ -1,0 +1,120 @@
+// Package epochsafe closes the stale-result-cache hazard that
+// engine.EnableResultCache can only document:
+//
+//	"Mutating the exported Index directly bypasses the bump, and with
+//	 no TTL the cache would serve pre-mutation results indefinitely."
+//
+// Cached search results are keyed on (generation, mutation epoch,
+// query); correctness rests entirely on every index mutation bumping
+// the epoch. The compiler cannot see that invariant — any package
+// holding an *index.Index (engine exports its Index field) can call
+// Add/Delete/Compact and silently freeze the cache. epochsafe makes
+// the contract mechanical:
+//
+//   - Outside internal/engine, any call to a mutating index.Index
+//     method (Add, AddPrepared, Annotate, Delete, Compact, ImportDocs,
+//     ImportTerms) is flagged: mutations route through Engine methods,
+//     which bump the epoch. Bare indexes that no engine ever wraps
+//     (pre-engine experiment paths) opt out with
+//     //deepvet:allow epochsafe -- <why no cache can be armed>.
+//
+//   - Inside internal/engine, a function that mutates the index must
+//     either call bumpEpoch itself or carry a
+//     //deepvet:epoch -- <which caller bumps>
+//     marker in its doc comment, naming the epoch-bumping pass it runs
+//     under. Reviewer memory becomes a build-breaking annotation.
+package epochsafe
+
+import (
+	"go/ast"
+	"strings"
+
+	"deepweb/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "epochsafe",
+	Doc:  "index mutations must flow through epoch-bumping engine passes (result-cache coherence)",
+	Run:  run,
+}
+
+// mutators are the index.Index methods that change what a search can
+// observe; each one invalidates every cached result.
+var mutators = map[string]bool{
+	"Add": true, "AddPrepared": true, "Annotate": true, "Delete": true,
+	"Compact": true, "ImportDocs": true, "ImportTerms": true,
+}
+
+const marker = "//deepvet:epoch"
+
+func run(pass *analysis.Pass) {
+	if analysis.PkgIs(pass.Path, "index") {
+		return // the index implementation itself
+	}
+	inEngine := analysis.PkgIs(pass.Path, "engine")
+	analysis.FuncDecls(pass.Files, func(fd *ast.FuncDecl) {
+		exempt := inEngine && (callsBumpEpoch(pass, fd) || hasEpochMarker(pass, fd))
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || !mutators[fn.Name()] {
+				return true
+			}
+			if analysis.ReceiverTypeName(fn) != "Index" || fn.Pkg() == nil || !analysis.PkgIs(fn.Pkg().Path(), "index") {
+				return true
+			}
+			switch {
+			case !inEngine:
+				pass.Reportf(call.Pos(),
+					"index.Index.%s called outside internal/engine: a result-cache-armed engine would serve stale results indefinitely (see engine.EnableResultCache); mutate through an Engine method",
+					fn.Name())
+			case !exempt:
+				pass.Reportf(call.Pos(),
+					"%s mutates the index but neither calls bumpEpoch nor carries a \"//deepvet:epoch -- <which caller bumps>\" marker; cached results minted before this mutation would never be retired",
+					fd.Name.Name)
+			}
+			return true
+		})
+	})
+}
+
+// callsBumpEpoch reports whether the function itself retires the cache.
+func callsBumpEpoch(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.Callee(pass.Info, call); fn != nil && fn.Name() == "bumpEpoch" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasEpochMarker reports whether the function's doc comment carries a
+// well-formed //deepvet:epoch marker. A marker without a reason does
+// not count — the annotation's value is naming the pass that bumps.
+func hasEpochMarker(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, marker)
+		if !ok {
+			continue
+		}
+		for _, sep := range []string{"--", "—"} {
+			if i := strings.Index(rest, sep); i >= 0 && strings.TrimSpace(rest[i+len(sep):]) != "" {
+				return true
+			}
+		}
+		pass.Reportf(c.Pos(), `malformed epoch marker: want "//deepvet:epoch -- <which caller bumps>"`)
+	}
+	return false
+}

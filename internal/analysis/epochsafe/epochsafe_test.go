@@ -1,0 +1,12 @@
+package epochsafe_test
+
+import (
+	"testing"
+
+	"deepweb/internal/analysis/analysistest"
+	"deepweb/internal/analysis/epochsafe"
+)
+
+func TestEpochsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", epochsafe.Analyzer, "index", "engine", "outside")
+}

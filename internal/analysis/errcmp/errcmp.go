@@ -1,0 +1,161 @@
+// Package errcmp enforces the project's error-matching discipline.
+//
+// The resilience and persistence layers communicate failure classes
+// through typed sentinels (resilient.ErrTransient, store.ErrCorrupt,
+// …) that arrive wrapped — resilient.Error.Unwrap maps classes to
+// sentinels, store decorates ErrCorrupt with segment context via %w.
+// Matching them with == therefore silently never matches, and
+// re-wrapping with %v instead of %w severs the chain so downstream
+// errors.Is checks (retry classification, corrupt-snapshot recovery)
+// stop working. Both bugs type-check and pass code review on a good
+// day; errcmp makes them build failures:
+//
+//   - comparing any package-level `Err*` sentinel with == or != (use
+//     errors.Is),
+//   - fmt.Errorf formatting an error value with %v/%s/%q instead of
+//     %w (use %w so the chain survives).
+package errcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"deepweb/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "sentinel errors must be matched with errors.Is and wrapped with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkComparison flags x == pkg.ErrSentinel (and !=). Comparing to
+// nil stays legal: that is the idiomatic "did it fail at all" check.
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	for _, side := range [2]ast.Expr{cmp.X, cmp.Y} {
+		if name := sentinelName(pass, side); name != "" {
+			pass.Reportf(cmp.OpPos,
+				"%s compared with %s: wrapped errors never match; use errors.Is(err, %s)",
+				name, cmp.Op, name)
+			return
+		}
+	}
+}
+
+// sentinelName resolves an expression to a package-level error
+// variable named Err*, returning its printable name ("store.ErrCorrupt").
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return ""
+	}
+	if v.Parent() != v.Pkg().Scope() || !analysis.IsErrorType(v.Type()) {
+		return ""
+	}
+	if v.Pkg() == pass.Types {
+		return v.Name()
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+// checkErrorf flags fmt.Errorf("...: %v", err): the %v stringifies the
+// error and drops the chain that errors.Is/As walk.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.Info, call)
+	if !analysis.IsFuncNamed(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		switch verb {
+		case 'v', 's', 'q':
+			t := pass.Info.Types[args[i]].Type
+			if analysis.IsErrorType(t) {
+				pass.Reportf(args[i].Pos(),
+					"fmt.Errorf formats an error with %%%c, severing the wrap chain; use %%w so errors.Is/As keep working", verb)
+			}
+		}
+	}
+}
+
+func constantString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb rune consuming each successive argument
+// of a Printf-style format. A '*' width or precision consumes an
+// argument of its own (recorded as '*'). Formats using explicit
+// argument indexes (%[1]v) return ok=false: the pairing is no longer
+// positional, so the check skips the call rather than guess.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		for i < len(format) && (format[i] == '*' || format[i] == '.' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' {
+			return nil, false
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"deepweb/internal/analysis/analysistest"
+	"deepweb/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", errcmp.Analyzer, "a")
+}

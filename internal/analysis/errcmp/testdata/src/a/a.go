@@ -1,0 +1,63 @@
+// Package a exercises errcmp: sentinel comparisons and wrap verbs.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is a package-level sentinel (the store.ErrCorrupt shape).
+var ErrNotFound = errors.New("a: not found")
+
+// errSmall is unexported and not Err-prefixed by the analyzer's rule
+// (prefix check is on the spelled name "Err", case-sensitive).
+var errSmall = errors.New("a: small")
+
+// NotAnError is Err-prefixed by spelling but not an error value.
+var ErrCount = 3
+
+func compare(err error) bool {
+	if err == ErrNotFound { // want `ErrNotFound compared with ==`
+		return true
+	}
+	if err != ErrNotFound { // want `ErrNotFound compared with !=`
+		return false
+	}
+	if ErrNotFound == err { // want `ErrNotFound compared with ==`
+		return true
+	}
+	if errors.Is(err, ErrNotFound) { // ok: the sanctioned form
+		return true
+	}
+	if err == nil { // ok: nil check is not a sentinel match
+		return false
+	}
+	if err == errSmall { // ok: not an Err* sentinel
+		return true
+	}
+	return ErrCount == 3 // ok: not an error value
+}
+
+func localShadow(err error) bool {
+	// A function-local Err* is not a package-level sentinel.
+	ErrLocal := errors.New("local")
+	return err == ErrLocal // ok: not package scope
+}
+
+func wrap(err error, n int) error {
+	if err != nil {
+		return fmt.Errorf("op failed: %v", err) // want `severing the wrap chain`
+	}
+	_ = fmt.Errorf("op failed: %s", err)     // want `severing the wrap chain`
+	_ = fmt.Errorf("op failed: %q", err)     // want `severing the wrap chain`
+	_ = fmt.Errorf("%*d then %v", n, n, err) // want `severing the wrap chain`
+	_ = fmt.Errorf("n=%d 100%%: %v", n, err) // want `severing the wrap chain`
+	_ = fmt.Errorf("indexed %[1]v", err)     // ok: indexed formats are skipped, not guessed
+	_ = fmt.Errorf("count %v", n)            // ok: not an error argument
+	return fmt.Errorf("op failed: %w", err)  // ok: the chain survives
+}
+
+func suppressed(err error) bool {
+	//deepvet:allow errcmp -- golden test for the suppression path
+	return err == ErrNotFound
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Load type-checks the packages matched by patterns (e.g. "./...")
+// in the module rooted at dir, returning one Package per match,
+// dependencies excluded. It shells out to `go list -export`, which
+// compiles dependencies just far enough to produce export data, then
+// re-parses the matched packages from source (with comments, so allow
+// directives survive) and type-checks them against that export data —
+// the same shape `go vet` builds for its analyzers, using only the
+// standard library.
+//
+// Test files are not loaded: the invariants deepvet enforces are
+// serving-path contracts, and tests legitimately reach around them
+// (mutating a bare index to set up a scenario, pinning fake clocks).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export",
+		"-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export: %w\n%s", err, errb.String())
+	}
+
+	type listError struct {
+		Err string
+	}
+	type listPkg struct {
+		ImportPath string
+		Dir        string
+		GoFiles    []string
+		Export     string
+		DepOnly    bool
+		Standard   bool
+		Incomplete bool
+		Error      *listError
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list -export: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  p.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// NewInfo allocates the types.Info maps every Pass expects populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// PkgIs reports whether an import path denotes the named project
+// package: an exact match, or any path ending in "/<name>". The suffix
+// form lets the analyzers apply identically to the real module layout
+// ("deepweb/internal/api") and to the flat stand-in packages under an
+// analyzer's testdata tree ("api").
+func PkgIs(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}

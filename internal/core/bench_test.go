@@ -59,7 +59,7 @@ func BenchmarkDetectRanges(b *testing.B) {
 	site, _ := webgen.BuildSite("usedcars", 0, 42, 50)
 	web.AddSite(site)
 	fetch := webx.NewFetcher(web)
-	page, err := fetch.Get(site.FormURL())
+	page, err := fetch.GetCtx(context.Background(), site.FormURL())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -189,7 +189,7 @@ func TestProbeKeywordsStandalone(t *testing.T) {
 	site, _ := webgen.BuildSite("library", 0, 42, 150)
 	web.AddSite(site)
 	fetch := webx.NewFetcher(web)
-	page, err := fetch.Get(site.FormURL())
+	page, err := fetch.GetCtx(context.Background(), site.FormURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestProbeKeywordsStandalone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	home, _ := fetch.Get(site.HomeURL())
+	home, _ := fetch.GetCtx(context.Background(), site.HomeURL())
 	seeds := SeedKeywords([]string{home.Text()}, 10)
 	kws := ProbeKeywords(context.Background(), fetch, f, "q", seeds, DefaultConfig())
 	if len(kws) == 0 {

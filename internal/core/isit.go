@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"net/url"
 	"sort"
@@ -21,7 +22,7 @@ import (
 
 // runISIT evaluates templates over the analysis' dimensions, fills in
 // res.Reports, and emits URLs for the informative ones.
-func (s *Surfacer) runISIT(res *Result) {
+func (s *Surfacer) runISIT(ctx context.Context, res *Result) {
 	dims := res.Analysis.Dimensions
 	if len(dims) == 0 {
 		return
@@ -33,7 +34,7 @@ func (s *Surfacer) runISIT(res *Result) {
 	var informative []tmpl
 
 	evalSel := func(sel []int) (TemplateEval, bool) {
-		return s.evalTemplate(res.Analysis.Form, dims, sel)
+		return s.evalTemplate(ctx, res.Analysis.Form, dims, sel)
 	}
 
 	report := func(sel []int, eval TemplateEval, ok bool) int {
@@ -153,7 +154,7 @@ func (s *Surfacer) indexable(e TemplateEval) bool {
 // a transient fetch failure skips just that submission, so neither
 // starves the remaining templates of probes they are still entitled
 // to.
-func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (TemplateEval, bool) {
+func (s *Surfacer) evalTemplate(ctx context.Context, f *form.Form, dims []Dimension, sel []int) (TemplateEval, bool) {
 	all := enumerate(dims, sel)
 	if len(all) == 0 {
 		return TemplateEval{}, true
@@ -163,7 +164,7 @@ func (s *Surfacer) evalTemplate(f *form.Form, dims []Dimension, sel []int) (Temp
 	s.sigbuf = s.sigbuf[:0]
 	totalItems := 0
 	for _, b := range sample {
-		obs, err := s.prober.probe(f, b)
+		obs, err := s.prober.probe(ctx, f, b)
 		if stopProbing(err) {
 			return eval, false
 		}

@@ -25,9 +25,10 @@ type observation struct {
 // prober issues form submissions against a fetch budget. All analysis
 // traffic — the "off-line analysis" load of §3.2 — flows through here,
 // so experiments can meter it, and cancellation is enforced here, so a
-// canceled surfacing run stops within one probe round-trip.
+// canceled surfacing run stops within one probe round-trip. The
+// context arrives per probe call (never stored — see ctxflow): the
+// prober is pure budget state, the caller owns the request lifetime.
 type prober struct {
-	ctx    context.Context
 	fetch  *webx.Fetcher
 	budget int
 	used   int
@@ -62,8 +63,8 @@ func stopProbing(err error) bool {
 // observation; otherwise the error is errBudget, errUnprobeable, the
 // context's cancellation error, or a wrapped fetch/HTTP failure (check
 // with errors.Is).
-func (p *prober) probe(f *form.Form, b form.Binding) (observation, error) {
-	if err := p.ctx.Err(); err != nil {
+func (p *prober) probe(ctx context.Context, f *form.Form, b form.Binding) (observation, error) {
+	if err := ctx.Err(); err != nil {
 		return observation{}, err
 	}
 	if p.used >= p.budget {
@@ -74,7 +75,7 @@ func (p *prober) probe(f *form.Form, b form.Binding) (observation, error) {
 		return observation{}, errUnprobeable
 	}
 	p.used++
-	page, err := p.fetch.GetCtx(p.ctx, u)
+	page, err := p.fetch.GetCtx(ctx, u)
 	if err != nil {
 		return observation{}, fmt.Errorf("core: probe: %w", err)
 	}
@@ -147,8 +148,8 @@ func ProbeKeywords(ctx context.Context, f *webx.Fetcher, fm *form.Form, input st
 		ctx = context.Background()
 	}
 	s := NewSurfacer(f, cfg)
-	s.prober = &prober{ctx: ctx, fetch: f, budget: cfg.ProbeBudget}
-	kws := s.probeSearchBox(fm, input, form.Binding{}, seeds)
+	s.prober = &prober{fetch: f, budget: cfg.ProbeBudget}
+	kws := s.probeSearchBox(ctx, fm, input, form.Binding{}, seeds)
 	out := make([]string, len(kws))
 	for i, k := range kws {
 		out[i] = k.kw
@@ -163,7 +164,7 @@ func ProbeKeywords(ctx context.Context, f *webx.Fetcher, fm *form.Form, input st
 //
 // fixed holds other inputs constant during probing — the hook the
 // database-selection handler uses to build per-catalog keyword sets.
-func (s *Surfacer) probeSearchBox(f *form.Form, inputName string, fixed form.Binding, seeds []string) []keywordInfo {
+func (s *Surfacer) probeSearchBox(ctx context.Context, f *form.Form, inputName string, fixed form.Binding, seeds []string) []keywordInfo {
 	var (
 		productive []keywordInfo
 		tried      = map[string]bool{}
@@ -181,7 +182,7 @@ func (s *Surfacer) probeSearchBox(f *form.Form, inputName string, fixed form.Bin
 			probed++
 			b := fixed.Clone()
 			b[inputName] = kw
-			obs, err := s.prober.probe(f, b)
+			obs, err := s.prober.probe(ctx, f, b)
 			if stopProbing(err) || errors.Is(err, errUnprobeable) {
 				// No budget left, run canceled, or the input can never
 				// be probed: further keywords cannot fare better.

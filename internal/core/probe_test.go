@@ -23,7 +23,7 @@ func testForms(t *testing.T) (*webx.Fetcher, *form.Form, *form.Form) {
 	}
 	web.AddSite(site)
 	f := webx.NewFetcher(web)
-	page, err := f.Get(site.FormURL())
+	page, err := f.GetCtx(context.Background(), site.FormURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,20 +44,20 @@ func TestProbeDistinguishesFailures(t *testing.T) {
 	f, getForm, postForm := testForms(t)
 	b := form.Binding{"make": "ford"}
 
-	p := &prober{ctx: context.Background(), fetch: f, budget: 0}
-	if _, err := p.probe(getForm, b); !errors.Is(err, errBudget) {
+	p := &prober{fetch: f, budget: 0}
+	if _, err := p.probe(context.Background(), getForm, b); !errors.Is(err, errBudget) {
 		t.Errorf("exhausted budget: got %v, want errBudget", err)
 	}
 
-	p = &prober{ctx: context.Background(), fetch: f, budget: 10}
-	if _, err := p.probe(postForm, b); !errors.Is(err, errUnprobeable) {
+	p = &prober{fetch: f, budget: 10}
+	if _, err := p.probe(context.Background(), postForm, b); !errors.Is(err, errUnprobeable) {
 		t.Errorf("POST form: got %v, want errUnprobeable", err)
 	}
 	if p.used != 0 {
 		t.Errorf("unprobeable binding consumed %d budget", p.used)
 	}
 
-	if obs, err := p.probe(getForm, b); err != nil || obs.items == 0 {
+	if obs, err := p.probe(context.Background(), getForm, b); err != nil || obs.items == 0 {
 		t.Errorf("healthy probe: obs=%+v err=%v", obs, err)
 	}
 }
@@ -68,10 +68,10 @@ func TestProbeDistinguishesFailures(t *testing.T) {
 func TestEvalTemplateUnprobeableIsNotBudgetExhaustion(t *testing.T) {
 	f, _, postForm := testForms(t)
 	s := NewSurfacer(f, DefaultConfig())
-	s.prober = &prober{ctx: context.Background(), fetch: f, budget: 100}
+	s.prober = &prober{fetch: f, budget: 100}
 	dims := []Dimension{{Name: "make", Inputs: []string{"make"}, Values: [][]string{{"ford"}, {"honda"}}}}
 
-	eval, budgetOK := s.evalTemplate(postForm, dims, []int{0})
+	eval, budgetOK := s.evalTemplate(context.Background(), postForm, dims, []int{0})
 	if !budgetOK {
 		t.Fatal("unprobeable template reported as budget exhaustion")
 	}
@@ -83,8 +83,8 @@ func TestEvalTemplateUnprobeableIsNotBudgetExhaustion(t *testing.T) {
 	}
 
 	// And with the budget genuinely gone, the old signal still fires.
-	s.prober = &prober{ctx: context.Background(), fetch: f, budget: 0}
-	if _, budgetOK := s.evalTemplate(postForm, dims, []int{0}); budgetOK {
+	s.prober = &prober{fetch: f, budget: 0}
+	if _, budgetOK := s.evalTemplate(context.Background(), postForm, dims, []int{0}); budgetOK {
 		t.Fatal("exhausted budget not reported")
 	}
 }
@@ -108,7 +108,7 @@ func TestEvalTemplateSkipsFailedFetches(t *testing.T) {
 		site.ServeHTTP(w, r)
 	}))
 	f := webx.NewFetcher(web)
-	page, err := f.Get(site.FormURL())
+	page, err := f.GetCtx(context.Background(), site.FormURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestEvalTemplateSkipsFailedFetches(t *testing.T) {
 	}
 
 	s := NewSurfacer(f, DefaultConfig())
-	s.prober = &prober{ctx: context.Background(), fetch: f, budget: 100}
+	s.prober = &prober{fetch: f, budget: 100}
 	makes := site.Table.DistinctStrings("make")
 	if len(makes) > 9 {
 		// Keep the whole template inside one evaluation sample
@@ -132,7 +132,7 @@ func TestEvalTemplateSkipsFailedFetches(t *testing.T) {
 	}
 	dims := []Dimension{{Name: "make", Inputs: []string{"make"}, Values: vals}}
 
-	eval, budgetOK := s.evalTemplate(fm, dims, []int{0})
+	eval, budgetOK := s.evalTemplate(context.Background(), fm, dims, []int{0})
 	if !budgetOK {
 		t.Fatal("one failed fetch reported as budget exhaustion")
 	}

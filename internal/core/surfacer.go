@@ -103,10 +103,10 @@ func (s *Surfacer) SurfaceSite(ctx context.Context, homeURL string) (*Result, er
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s.prober = &prober{ctx: ctx, fetch: s.Fetch, budget: s.Cfg.ProbeBudget}
+	s.prober = &prober{fetch: s.Fetch, budget: s.Cfg.ProbeBudget}
 	res := &Result{}
 
-	f, seedTexts, err := s.findForm(homeURL)
+	f, seedTexts, err := s.findForm(ctx, homeURL)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +121,8 @@ func (s *Surfacer) SurfaceSite(ctx context.Context, homeURL string) (*Result, er
 	res.Analysis.Form = f
 	res.Analysis.Seeds = SeedKeywords(seedTexts, s.Cfg.SeedKeywords)
 
-	s.buildDimensions(&res.Analysis)
-	s.runISIT(res)
+	s.buildDimensions(ctx, &res.Analysis)
+	s.runISIT(ctx, res)
 	res.ProbesUsed = s.prober.used
 	// Probing loops treat cancellation like budget exhaustion (settle
 	// for what is learned); the caller must see the abort, not a
@@ -137,8 +137,8 @@ func (s *Surfacer) SurfaceSite(ctx context.Context, homeURL string) (*Result, er
 // it finds a GET form with bindable inputs. It returns nil (no error)
 // when only POST forms exist. The collected page texts double as the
 // seed corpus.
-func (s *Surfacer) findForm(homeURL string) (*form.Form, []string, error) {
-	home, err := s.Fetch.GetCtx(s.prober.ctx, homeURL)
+func (s *Surfacer) findForm(ctx context.Context, homeURL string) (*form.Form, []string, error) {
+	home, err := s.Fetch.GetCtx(ctx, homeURL)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: fetch homepage: %w", err)
 	}
@@ -159,10 +159,10 @@ func (s *Surfacer) findForm(homeURL string) (*form.Form, []string, error) {
 		if strings.Contains(l, "?") || !sameHost(l, homeURL) {
 			continue
 		}
-		if s.prober.used >= s.prober.budget || s.prober.ctx.Err() != nil {
+		if s.prober.used >= s.prober.budget || ctx.Err() != nil {
 			break
 		}
-		p, err := s.Fetch.GetCtx(s.prober.ctx, l)
+		p, err := s.Fetch.GetCtx(ctx, l)
 		if err != nil || p.Status != 200 {
 			continue
 		}
@@ -193,7 +193,7 @@ func (s *Surfacer) findForm(homeURL string) (*form.Form, []string, error) {
 
 // buildDimensions turns the form's inputs into query dimensions,
 // applying typed-input recognition and correlation fusion per config.
-func (s *Surfacer) buildDimensions(a *Analysis) {
+func (s *Surfacer) buildDimensions(ctx context.Context, a *Analysis) {
 	f := a.Form
 	a.TypedInputs = map[string]string{}
 
@@ -222,7 +222,7 @@ func (s *Surfacer) buildDimensions(a *Analysis) {
 	}
 	if s.Cfg.PerDBKeywords {
 		if db := DetectDBSelection(f); db != nil {
-			if dim, ok := s.dbSelectionDimension(f, db); ok {
+			if dim, ok := s.dbSelectionDimension(ctx, f, db); ok {
 				a.DBSel = db
 				a.Dimensions = append(a.Dimensions, dim)
 				fused[db.SelectInput], fused[db.TextInput] = true, true
@@ -244,14 +244,14 @@ func (s *Surfacer) buildDimensions(a *Analysis) {
 		case form.TextBox:
 			if s.Cfg.TypedInputs {
 				if typ := HypothesizeType(in.Name, in.Label); typ != "" {
-					if vals, ok := s.confirmType(f, in.Name, typ); ok {
+					if vals, ok := s.confirmType(ctx, f, in.Name, typ); ok {
 						a.TypedInputs[in.Name] = typ
 						a.Dimensions = append(a.Dimensions, singleDim(in.Name, vals))
 						continue
 					}
 				}
 			}
-			kws := s.probeSearchBox(f, in.Name, form.Binding{}, a.Seeds)
+			kws := s.probeSearchBox(ctx, f, in.Name, form.Binding{}, a.Seeds)
 			if len(kws) > 0 {
 				vals := make([]string, len(kws))
 				for i, k := range kws {
@@ -268,14 +268,14 @@ func (s *Surfacer) buildDimensions(a *Analysis) {
 // confirmType validates a type hypothesis behaviourally: some sampled
 // typed values must actually retrieve results. Returns the value list
 // to use on success.
-func (s *Surfacer) confirmType(f *form.Form, inputName, typ string) ([]string, bool) {
+func (s *Surfacer) confirmType(ctx context.Context, f *form.Form, inputName, typ string) ([]string, bool) {
 	vals := TypedValues(typ, s.Cfg.MaxValuesPerInput)
 	hits := 0
 	for i, v := range vals {
 		if i >= 10 { // sample at most 10 values for confirmation
 			break
 		}
-		obs, err := s.prober.probe(f, form.Binding{inputName: v})
+		obs, err := s.prober.probe(ctx, f, form.Binding{inputName: v})
 		if stopProbing(err) || errors.Is(err, errUnprobeable) {
 			break
 		}
@@ -294,7 +294,7 @@ func (s *Surfacer) confirmType(f *form.Form, inputName, typ string) ([]string, b
 // It reports ok=false when the per-option keyword sets are essentially
 // identical — then the select is not a database selector and the inputs
 // are better treated independently.
-func (s *Surfacer) dbSelectionDimension(f *form.Form, db *DBSelection) (Dimension, bool) {
+func (s *Surfacer) dbSelectionDimension(ctx context.Context, f *form.Form, db *DBSelection) (Dimension, bool) {
 	opts := db.Options
 	if len(opts) > 6 {
 		opts = opts[:6]
@@ -304,7 +304,7 @@ func (s *Surfacer) dbSelectionDimension(f *form.Form, db *DBSelection) (Dimensio
 	// Per-option seeds come from probing the option alone: the option's
 	// own result pages are the best description of its catalog.
 	for i, opt := range opts {
-		obs, err := s.prober.probe(f, form.Binding{db.SelectInput: opt})
+		obs, err := s.prober.probe(ctx, f, form.Binding{db.SelectInput: opt})
 		seeds := []string{}
 		if err == nil && obs.items > 0 {
 			tv := textutil.TermVector{}
@@ -316,7 +316,7 @@ func (s *Surfacer) dbSelectionDimension(f *form.Form, db *DBSelection) (Dimensio
 				seeds = append(seeds, w.Term)
 			}
 		}
-		kws := s.probeSearchBox(f, db.TextInput, form.Binding{db.SelectInput: opt}, seeds)
+		kws := s.probeSearchBox(ctx, f, db.TextInput, form.Binding{db.SelectInput: opt}, seeds)
 		perOpt[i] = kws
 		kwSets[i] = map[string]bool{}
 		for _, k := range kws {

@@ -216,7 +216,7 @@ func TestRefreshPerHostCap(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.Workers = 4
-		e.IndexSurfaceWeb()
+		e.IndexSurfaceWeb(context.Background())
 		if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			t.Fatal(err)
 		}

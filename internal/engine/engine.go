@@ -183,11 +183,12 @@ func Build(cfg webgen.WorldConfig) (*Engine, error) {
 
 // IndexSurfaceWeb crawls the pre-surfacing web (no query URLs) and
 // indexes it — the baseline a search engine has before deep-web
-// surfacing.
-func (e *Engine) IndexSurfaceWeb() int {
+// surfacing. A canceled ctx stops the crawl; pages fetched before the
+// cancellation are still indexed (and the epoch still bumps).
+func (e *Engine) IndexSurfaceWeb(ctx context.Context) int {
 	c := &webx.Crawler{Fetcher: e.Fetch}
 	n := 0
-	for _, p := range c.Crawl("http://" + webgen.HubHost + "/") {
+	for _, p := range c.Crawl(ctx, "http://"+webgen.HubHost+"/") {
 		if id, added := e.Index.Add(index.Doc{URL: p.URL, Title: p.Title(), Text: p.Text()}); added {
 			n++
 			e.trackDoc(p.URL, id)
@@ -573,8 +574,8 @@ func (e *Engine) MeanCoverage() float64 {
 
 // FormOf fetches and parses a site's search form — the mediator
 // registration path shared by experiments and examples.
-func FormOf(fetch *webx.Fetcher, site *webgen.Site) (*form.Form, error) {
-	page, err := fetch.Get(site.FormURL())
+func FormOf(ctx context.Context, fetch *webx.Fetcher, site *webgen.Site) (*form.Form, error) {
+	page, err := fetch.GetCtx(ctx, site.FormURL())
 	if err != nil {
 		return nil, err
 	}

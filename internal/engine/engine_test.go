@@ -23,7 +23,7 @@ func buildEngine(t testing.TB, workers int) *Engine {
 		t.Fatal(err)
 	}
 	e.Workers = workers
-	if n := e.IndexSurfaceWeb(); n == 0 {
+	if n := e.IndexSurfaceWeb(context.Background()); n == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
 	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
@@ -247,7 +247,7 @@ func TestBuildSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sem := e.BuildSemantics(2000)
+	sem := e.BuildSemantics(context.Background(), 2000)
 	if sem.PagesCrawled == 0 || len(sem.Tables) == 0 {
 		t.Fatalf("semantic crawl found nothing: %+v", sem)
 	}
@@ -269,7 +269,7 @@ func TestFormOf(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, site := range e.Web.Sites() {
-		f, err := FormOf(e.Fetch, site)
+		f, err := FormOf(context.Background(), e.Fetch, site)
 		if err != nil {
 			t.Fatalf("%s: %v", site.Spec.Host, err)
 		}
@@ -285,7 +285,7 @@ func ExampleEngine_Surface() {
 		panic(err)
 	}
 	e.Workers = 4
-	e.IndexSurfaceWeb()
+	e.IndexSurfaceWeb(context.Background())
 	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 1}); err != nil {
 		panic(err)
 	}

@@ -93,7 +93,7 @@ func BenchmarkColdSurface(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := New(web)
 		e.Workers = 4
-		e.IndexSurfaceWeb()
+		e.IndexSurfaceWeb(context.Background())
 		if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 			b.Fatal(err)
 		}

@@ -27,7 +27,7 @@ func surfacedEngine(t testing.TB, shards int) *Engine {
 	}
 	e.Index = index.NewSharded(shards)
 	e.Workers = 4
-	if e.IndexSurfaceWeb() == 0 {
+	if e.IndexSurfaceWeb(context.Background()) == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
 	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
@@ -286,7 +286,7 @@ func TestSemanticsSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sem := e.BuildSemantics(2000)
+	sem := e.BuildSemantics(context.Background(), 2000)
 	dir := t.TempDir()
 	if err := sem.Save(dir); err != nil {
 		t.Fatal(err)

@@ -42,7 +42,7 @@ func freshEngine(t *testing.T, shards int) *Engine {
 	}
 	e.Index = index.NewSharded(shards)
 	e.Workers = 4
-	if e.IndexSurfaceWeb() == 0 {
+	if e.IndexSurfaceWeb(context.Background()) == 0 {
 		t.Fatal("surface-web crawl indexed nothing")
 	}
 	if _, err := e.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
@@ -113,7 +113,7 @@ func TestRefreshMatchesFromScratch(t *testing.T) {
 		scratch.Index = index.NewSharded(shards)
 		scratch.Workers = 4
 		churnSubset(scratch.Web, 99)
-		if scratch.IndexSurfaceWeb() == 0 {
+		if scratch.IndexSurfaceWeb(context.Background()) == 0 {
 			t.Fatal("surface-web crawl indexed nothing")
 		}
 		if _, err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
@@ -242,7 +242,7 @@ func TestLoadWithRefreshAgainstSnapshot(t *testing.T) {
 	scratch.Index = index.NewSharded(4)
 	scratch.Workers = 4
 	churnSubset(scratch.Web, 4242)
-	scratch.IndexSurfaceWeb()
+	scratch.IndexSurfaceWeb(context.Background())
 	if _, err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestRefreshFailureThenRetryConverges(t *testing.T) {
 	scratch.Index = index.NewSharded(4)
 	scratch.Workers = 4
 	webgen.ChurnSite(scratch.Web.Sites()[0], 6, rand.New(rand.NewSource(55)))
-	scratch.IndexSurfaceWeb()
+	scratch.IndexSurfaceWeb(context.Background())
 	if _, err := scratch.Surface(context.Background(), SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		t.Fatal(err)
 	}

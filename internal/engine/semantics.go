@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -25,10 +26,11 @@ type SemanticStore struct {
 // BuildSemantics deep-crawls the world — following query links so
 // record pages (with tables) are reached, the post-surfacing state of
 // the index — and aggregates every HTML table into an ACSDb and a value
-// store. maxPages bounds the crawl (0 = unlimited).
-func (e *Engine) BuildSemantics(maxPages int) *SemanticStore {
+// store. maxPages bounds the crawl (0 = unlimited); a canceled ctx
+// stops the crawl and builds the stores from the pages fetched so far.
+func (e *Engine) BuildSemantics(ctx context.Context, maxPages int) *SemanticStore {
 	c := &webx.Crawler{Fetcher: e.Fetch, FollowQuery: true, MaxPages: maxPages}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	pages := c.Crawl(ctx, "http://"+webgen.HubHost+"/")
 	raw := webtables.ExtractFromPages(pages)
 	good := webtables.QualityFilter(raw)
 	vals := webtables.NewValueStore()

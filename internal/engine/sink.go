@@ -63,6 +63,8 @@ func (s *stagedSink) Annotate(docID int, anns map[string]string) {
 // returns the ids of the documents newly indexed. Called from the
 // engine's single committer, so ids come out identical for any worker
 // count.
+//
+//deepvet:epoch -- only called from Engine.commitOutcome, which bumps after every commit
 func (s *stagedSink) commit() []int {
 	var indexed []int
 	for i, p := range s.docs {

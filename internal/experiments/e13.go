@@ -34,7 +34,7 @@ type E13Report struct {
 // cross-reference decoys, then issues "used «make» «model» «year»"
 // queries built from the decoy rows — the exact adversarial shape of
 // the paper's example.
-func E13LostSemantics(seed int64, rows int) (E13Report, error) {
+func E13LostSemantics(ctx context.Context, seed int64, rows int) (E13Report, error) {
 	var rep E13Report
 	web := webgen.NewWeb()
 	site, err := webgen.BuildSite("usedcars", 0, seed, rows)
@@ -44,12 +44,12 @@ func E13LostSemantics(seed int64, rows int) (E13Report, error) {
 	web.AddSite(site)
 	fetch := webxpkg.NewFetcher(web)
 	s := core.NewSurfacer(fetch, core.DefaultConfig())
-	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+	res, err := s.SurfaceSite(ctx, site.HomeURL())
 	if err != nil {
 		return rep, err
 	}
 	ix := index.New()
-	core.IngestURLs(context.Background(), fetch, ix, res.Analysis.Form.ID, res.URLs, 5)
+	core.IngestURLs(ctx, fetch, ix, res.Analysis.Form.ID, res.URLs, 5)
 
 	// Build queries from decoy rows: the decoy page contains the
 	// referenced make+model (in text) plus the decoy row's year.

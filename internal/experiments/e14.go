@@ -33,7 +33,7 @@ type E14Report struct {
 // E14Extraction surfaces a used-car site, fetches its surfaced pages,
 // induces a wrapper from (binding, records) observations, extracts
 // every record, and scores fields against the site's ground truth.
-func E14Extraction(seed int64, rows int) (E14Report, error) {
+func E14Extraction(ctx context.Context, seed int64, rows int) (E14Report, error) {
 	rep := E14Report{FieldAccuracy: map[string]float64{}}
 	web := webgen.NewWeb()
 	site, err := webgen.BuildSite("usedcars", 0, seed, rows)
@@ -43,7 +43,7 @@ func E14Extraction(seed int64, rows int) (E14Report, error) {
 	web.AddSite(site)
 	fetch := webxpkg.NewFetcher(web)
 	s := core.NewSurfacer(fetch, core.DefaultConfig())
-	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+	res, err := s.SurfaceSite(ctx, site.HomeURL())
 	if err != nil {
 		return rep, err
 	}
@@ -51,7 +51,7 @@ func E14Extraction(seed int64, rows int) (E14Report, error) {
 	// Assemble extraction pages from surfaced URLs.
 	var pages []extract.Page
 	for _, u := range res.URLs {
-		page, err := fetch.Get(u)
+		page, err := fetch.GetCtx(ctx, u)
 		if err != nil || page.Status != 200 {
 			continue
 		}

@@ -79,13 +79,13 @@ type E2Report struct {
 
 // E2SiteLoad surfaces a world, then runs the same query stream through
 // the index and through a mediator over the same sites.
-func E2SiteLoad(seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
+func E2SiteLoad(ctx context.Context, seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
 	w, err := NewWorld(webgen.WorldConfig{Seed: seed, SitesPerDom: sitesPerDom, RowsPerSite: rows})
 	if err != nil {
 		return E2Report{}, err
 	}
-	w.IndexSurfaceWeb()
-	if _, err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
+	w.IndexSurfaceWeb(ctx)
+	if _, err := w.Surface(ctx, engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 3}); err != nil {
 		return E2Report{}, err
 	}
 	var rep E2Report
@@ -100,7 +100,7 @@ func E2SiteLoad(seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
 	// Build the mediator over the same forms.
 	m := virtual.NewMediator(w.Fetch)
 	for _, site := range w.Web.Sites() {
-		f, err := engine.FormOf(w.Fetch, site)
+		f, err := engine.FormOf(ctx, w.Fetch, site)
 		if err != nil {
 			continue
 		}
@@ -116,7 +116,7 @@ func E2SiteLoad(seed int64, sitesPerDom, rows, queries int) (E2Report, error) {
 	m.Requests = 0
 	for i := 0; i < queries; i++ {
 		q := queriesList[i%len(queriesList)]
-		m.Answer(q, 10)
+		m.Answer(ctx, q, 10)
 	}
 	rep.Queries = queries
 	rep.MediatorReqPerQry = float64(m.Requests) / float64(queries)
@@ -150,18 +150,18 @@ type E3Report struct {
 
 // E3Fortuitous builds faculty sites, surfaces them, and asks
 // "<award> professor" for every award in the data.
-func E3Fortuitous(seed int64, rows int) (E3Report, error) {
+func E3Fortuitous(ctx context.Context, seed int64, rows int) (E3Report, error) {
 	w, err := NewWorld(webgen.WorldConfig{Seed: seed, SitesPerDom: 1, RowsPerSite: rows})
 	if err != nil {
 		return E3Report{}, err
 	}
-	w.IndexSurfaceWeb()
-	if _, err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
+	w.IndexSurfaceWeb(ctx)
+	if _, err := w.Surface(ctx, engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 5}); err != nil {
 		return E3Report{}, err
 	}
 	m := virtual.NewMediator(w.Fetch)
 	for _, site := range w.Web.Sites() {
-		if f, err := engine.FormOf(w.Fetch, site); err == nil {
+		if f, err := engine.FormOf(ctx, w.Fetch, site); err == nil {
 			m.Register(f)
 		}
 	}
@@ -193,7 +193,7 @@ func E3Fortuitous(seed int64, rows int) (E3Report, error) {
 			}
 		}
 		// Mediator arm: any answer whose record names the award.
-		answers, _ := m.Answer(q, 10)
+		answers, _ := m.Answer(ctx, q, 10)
 		for _, a := range answers {
 			if strings.Contains(strings.ToLower(a.Record), aw) {
 				rep.MediatorHits++
@@ -253,7 +253,7 @@ type E4Report struct {
 // one (usedcars) and a text-database (library), whose probed keyword
 // count tracks content — and counts emitted URLs against the naive
 // cross-product query space.
-func E4URLScaling(seed int64, rowSizes []int) (E4Report, error) {
+func E4URLScaling(ctx context.Context, seed int64, rowSizes []int) (E4Report, error) {
 	var rep E4Report
 	for _, domain := range []string{"usedcars", "library"} {
 		for _, rows := range rowSizes {
@@ -270,7 +270,7 @@ func E4URLScaling(seed int64, rowSizes []int) (E4Report, error) {
 			cfg.ProbeBudget = 2500
 			cfg.URLBudget = 20000
 			s := core.NewSurfacer(webxpkg.NewFetcher(web), cfg)
-			res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+			res, err := s.SurfaceSite(ctx, site.HomeURL())
 			if err != nil {
 				return rep, err
 			}

@@ -51,7 +51,7 @@ var decoyNames = []string{
 }
 
 // E5TypedInputs measures both halves.
-func E5TypedInputs(seed int64, populationForms, rows int) (E5Report, error) {
+func E5TypedInputs(ctx context.Context, seed int64, populationForms, rows int) (E5Report, error) {
 	var rep E5Report
 	// --- population prevalence: plant the paper's 6.7% rate.
 	r := rand.New(rand.NewSource(seed))
@@ -96,7 +96,7 @@ func E5TypedInputs(seed int64, populationForms, rows int) (E5Report, error) {
 	fetch := webxpkg.NewFetcher(web)
 	for _, site := range web.Sites() {
 		s := core.NewSurfacer(fetch, core.DefaultConfig())
-		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+		res, err := s.SurfaceSite(ctx, site.HomeURL())
 		if err != nil || res.Analysis.Form == nil {
 			continue
 		}
@@ -165,7 +165,7 @@ type E6Report struct {
 
 // E6Probing compares iterative probing against a generic-dictionary
 // prober on a library (text database) site across probe budgets.
-func E6Probing(seed int64, rows int, budgets []int) (E6Report, error) {
+func E6Probing(ctx context.Context, seed int64, rows int, budgets []int) (E6Report, error) {
 	rep := E6Report{Rows: rows}
 	web := webgen.NewWeb()
 	site, err := webgen.BuildSite("library", 0, seed, rows)
@@ -177,11 +177,11 @@ func E6Probing(seed int64, rows int, budgets []int) (E6Report, error) {
 
 	// Seeds for the iterative arm: homepage + form page text, like the
 	// surfacer's own pipeline.
-	home, err := fetch.Get(site.HomeURL())
+	home, err := fetch.GetCtx(ctx, site.HomeURL())
 	if err != nil {
 		return rep, err
 	}
-	formPage, err := fetch.Get(site.FormURL())
+	formPage, err := fetch.GetCtx(ctx, site.FormURL())
 	if err != nil {
 		return rep, err
 	}
@@ -199,7 +199,7 @@ func E6Probing(seed int64, rows int, budgets []int) (E6Report, error) {
 		cfg := core.DefaultConfig()
 		cfg.ProbeBudget = budget
 		cfg.MaxValuesPerInput = budget // let the sweep see all finds
-		iterKWs := core.ProbeKeywords(context.Background(), fetch, f, "q", seeds, cfg)
+		iterKWs := core.ProbeKeywords(ctx, fetch, f, "q", seeds, cfg)
 
 		var dictKWs []string
 		for i, w := range dict {
@@ -278,7 +278,7 @@ type E7Report struct {
 }
 
 // E7Ranges surfaces one usedcars site with range fusion on and off.
-func E7Ranges(seed int64, rows int) (E7Report, error) {
+func E7Ranges(ctx context.Context, seed int64, rows int) (E7Report, error) {
 	var rep E7Report
 	// Prevalence over the standard world's form population.
 	world, err := webgen.BuildWorld(webgen.WorldConfig{Seed: seed, SitesPerDom: 2, RowsPerSite: 10})
@@ -300,7 +300,7 @@ func E7Ranges(seed int64, rows int) (E7Report, error) {
 		}
 		web.AddSite(site)
 		s := core.NewSurfacer(webxpkg.NewFetcher(web), cfg)
-		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+		res, err := s.SurfaceSite(ctx, site.HomeURL())
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -381,7 +381,7 @@ type E8Arm struct {
 
 // E8DBSelection surfaces a media site with and without per-database
 // keyword handling and scores coverage within each catalog.
-func E8DBSelection(seed int64, rows int) (E8Report, error) {
+func E8DBSelection(ctx context.Context, seed int64, rows int) (E8Report, error) {
 	rep := E8Report{PerCatalog: map[string]E8Arm{}}
 	run := func(cfg core.Config) (map[string]float64, error) {
 		web := webgen.NewWeb()
@@ -391,7 +391,7 @@ func E8DBSelection(seed int64, rows int) (E8Report, error) {
 		}
 		web.AddSite(site)
 		s := core.NewSurfacer(webxpkg.NewFetcher(web), cfg)
-		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+		res, err := s.SurfaceSite(ctx, site.HomeURL())
 		if err != nil {
 			return nil, err
 		}

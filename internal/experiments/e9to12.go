@@ -38,7 +38,7 @@ type E9Report struct {
 // E9Indexability surfaces once, then ingests with and without the
 // admission filter (the criterion operates on fetched pages, where the
 // result count is observable).
-func E9Indexability(seed int64, rows int) (E9Report, error) {
+func E9Indexability(ctx context.Context, seed int64, rows int) (E9Report, error) {
 	rep := E9Report{Rows: rows, MaxAllowed: 50}
 	web := webgen.NewWeb()
 	site, err := webgen.BuildSite("usedcars", 0, seed, rows)
@@ -53,13 +53,13 @@ func E9Indexability(seed int64, rows int) (E9Report, error) {
 	cfg := core.DefaultConfig()
 	cfg.Indexability = false
 	s := core.NewSurfacer(fetch, cfg)
-	res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+	res, err := s.SurfaceSite(ctx, site.HomeURL())
 	if err != nil {
 		return rep, err
 	}
 	measure := func(filt core.IngestFilter) (int, int, float64, float64) {
 		ix := index.New()
-		st := core.IngestURLsFiltered(context.Background(), fetch, ix, "f", res.URLs, 0, filt)
+		st := core.IngestURLsFiltered(ctx, fetch, ix, "f", res.URLs, 0, filt)
 		covered := map[int]bool{}
 		var sizes []float64
 		for _, u := range res.URLs {
@@ -114,7 +114,7 @@ type E10Report struct {
 
 // E10Coverage surfaces sites of several sizes and scores the
 // capture–recapture bootstrap against ground truth.
-func E10Coverage(seed int64, sizes []int) (E10Report, error) {
+func E10Coverage(ctx context.Context, seed int64, sizes []int) (E10Report, error) {
 	rep := E10Report{Confidence: 0.95}
 	for _, rows := range sizes {
 		web := webgen.NewWeb()
@@ -124,7 +124,7 @@ func E10Coverage(seed int64, sizes []int) (E10Report, error) {
 		}
 		web.AddSite(site)
 		s := core.NewSurfacer(webxpkg.NewFetcher(web), core.DefaultConfig())
-		res, err := s.SurfaceSite(context.Background(), site.HomeURL())
+		res, err := s.SurfaceSite(ctx, site.HomeURL())
 		if err != nil {
 			return rep, err
 		}
@@ -176,7 +176,7 @@ type E11Report struct {
 
 // E11Semantics crawls the whole world (following links into record
 // pages), aggregates, and scores services.
-func E11Semantics(seed int64, sitesPerDom, rows int) (E11Report, error) {
+func E11Semantics(ctx context.Context, seed int64, sitesPerDom, rows int) (E11Report, error) {
 	var rep E11Report
 	w, err := NewWorld(webgen.WorldConfig{Seed: seed, SitesPerDom: sitesPerDom, RowsPerSite: rows})
 	if err != nil {
@@ -185,7 +185,7 @@ func E11Semantics(seed int64, sitesPerDom, rows int) (E11Report, error) {
 	// Deep crawl through the engine façade: follow query links so record
 	// pages (with tables) are reached — the post-surfacing state of the
 	// index.
-	sem := w.BuildSemantics(4000)
+	sem := w.BuildSemantics(ctx, 4000)
 	rep.PagesCrawled = sem.PagesCrawled
 	rep.RawTables = sem.RawTables
 	rep.GoodTables = len(sem.Tables)
@@ -283,7 +283,7 @@ type E12Report struct {
 }
 
 // E12GetPost builds a mixed world and measures reach both ways.
-func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, error) {
+func E12GetPost(ctx context.Context, seed int64, sitesPerDom, rows, postFraction int) (E12Report, error) {
 	var rep E12Report
 	w, err := NewWorld(webgen.WorldConfig{
 		Seed: seed, SitesPerDom: sitesPerDom, RowsPerSite: rows, PostFraction: postFraction,
@@ -291,7 +291,7 @@ func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, err
 	if err != nil {
 		return rep, err
 	}
-	if _, err := w.Surface(context.Background(), engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
+	if _, err := w.Surface(ctx, engine.SurfaceRequest{Config: core.DefaultConfig(), FollowNext: 0}); err != nil {
 		return rep, err
 	}
 	m := virtual.NewMediator(w.Fetch)
@@ -305,7 +305,7 @@ func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, err
 			rep.PostRecords += site.Table.Len()
 			postHosts = append(postHosts, site.Spec.Host)
 		}
-		if f, err := engine.FormOf(w.Fetch, site); err == nil {
+		if f, err := engine.FormOf(ctx, w.Fetch, site); err == nil {
 			m.Register(f)
 		}
 	}
@@ -346,7 +346,7 @@ func E12GetPost(seed int64, sitesPerDom, rows, postFraction int) (E12Report, err
 		default:
 			continue
 		}
-		if answers, _ := m.Answer(q, 5); len(answers) > 0 {
+		if answers, _ := m.Answer(ctx, q, 5); len(answers) > 0 {
 			for _, a := range answers {
 				if a.Site == host {
 					rep.MediatorPostAnswers++

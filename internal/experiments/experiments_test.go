@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestE1SharesMatchPaper(t *testing.T) {
 }
 
 func TestE2SurfacingLoadBounded(t *testing.T) {
-	rep, err := E2SiteLoad(7, 1, 120, 30)
+	rep, err := E2SiteLoad(context.Background(), 7, 1, 120, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestE2SurfacingLoadBounded(t *testing.T) {
 }
 
 func TestE3SurfacingBeatsMediator(t *testing.T) {
-	rep, err := E3Fortuitous(7, 400)
+	rep, err := E3Fortuitous(context.Background(), 7, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestE3SurfacingBeatsMediator(t *testing.T) {
 }
 
 func TestE4URLsTrackRows(t *testing.T) {
-	rep, err := E4URLScaling(7, []int{100, 400})
+	rep, err := E4URLScaling(context.Background(), 7, []int{100, 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestE4URLsTrackRows(t *testing.T) {
 }
 
 func TestE5Accuracy(t *testing.T) {
-	rep, err := E5TypedInputs(7, 5000, 150)
+	rep, err := E5TypedInputs(context.Background(), 7, 5000, 150)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestE5Accuracy(t *testing.T) {
 }
 
 func TestE6IterativeBeatsDictionary(t *testing.T) {
-	rep, err := E6Probing(7, 300, []int{30, 120})
+	rep, err := E6Probing(context.Background(), 7, 300, []int{30, 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestE6IterativeBeatsDictionary(t *testing.T) {
 }
 
 func TestE7RangeShape(t *testing.T) {
-	rep, err := E7Ranges(7, 300)
+	rep, err := E7Ranges(context.Background(), 7, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestE7RangeShape(t *testing.T) {
 }
 
 func TestE8PerDBBeatsGlobal(t *testing.T) {
-	rep, err := E8DBSelection(7, 400)
+	rep, err := E8DBSelection(context.Background(), 7, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestE8PerDBBeatsGlobal(t *testing.T) {
 }
 
 func TestE9FilterBoundsPageSizes(t *testing.T) {
-	rep, err := E9Indexability(7, 600)
+	rep, err := E9Indexability(context.Background(), 7, 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestE9FilterBoundsPageSizes(t *testing.T) {
 }
 
 func TestE10BoundsHold(t *testing.T) {
-	rep, err := E10Coverage(7, []int{150, 400})
+	rep, err := E10Coverage(context.Background(), 7, []int{150, 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestE10BoundsHold(t *testing.T) {
 }
 
 func TestE11ServicesWork(t *testing.T) {
-	rep, err := E11Semantics(7, 2, 60)
+	rep, err := E11Semantics(context.Background(), 7, 2, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestE11ServicesWork(t *testing.T) {
 }
 
 func TestE12PostInvisibleToSurfacing(t *testing.T) {
-	rep, err := E12GetPost(7, 2, 80, 3)
+	rep, err := E12GetPost(context.Background(), 7, 2, 80, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestWorldHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := w.IndexSurfaceWeb(); n == 0 {
+	if n := w.IndexSurfaceWeb(context.Background()); n == 0 {
 		t.Error("surface-web crawl indexed nothing")
 	}
 	if cov := w.SiteCoverage("nosuch.example"); cov.Total != 0 {
@@ -243,7 +244,7 @@ func TestWorldHelpers(t *testing.T) {
 }
 
 func TestE13AnnotationsFixDecoys(t *testing.T) {
-	rep, err := E13LostSemantics(7, 700)
+	rep, err := E13LostSemantics(context.Background(), 7, 700)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestE13AnnotationsFixDecoys(t *testing.T) {
 }
 
 func TestE14ExtractionAccuracy(t *testing.T) {
-	rep, err := E14Extraction(7, 500)
+	rep, err := E14Extraction(context.Background(), 7, 500)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -76,7 +76,7 @@ func FromDecl(base *url.URL, d htmlx.FormDecl, idx int) (*Form, error) {
 	}
 	actionURL, err := url.Parse(d.Action)
 	if err != nil {
-		return nil, fmt.Errorf("form: bad action %q: %v", d.Action, err)
+		return nil, fmt.Errorf("form: bad action %q: %w", d.Action, err)
 	}
 	f := &Form{
 		ID:     fmt.Sprintf("%s%s#%d", base.Host, base.ResolveReference(actionURL).Path, idx),

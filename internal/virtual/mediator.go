@@ -1,6 +1,7 @@
 package virtual
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -200,7 +201,7 @@ type AnswerStats struct {
 // Answer routes, reformulates, submits live, extracts records and
 // merges them ranked by overlap with the query. This is the full
 // query-time pipeline whose per-query source load E2 meters.
-func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
+func (m *Mediator) Answer(ctx context.Context, query string, k int) ([]Answer, AnswerStats) {
 	var st AnswerStats
 	srcs := m.Route(query)
 	st.Routed = len(srcs)
@@ -216,7 +217,7 @@ func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
 			st.NoBindings++
 			continue
 		}
-		recs := m.submit(src, b)
+		recs := m.submit(ctx, src, b)
 		st.Submitted++
 		for _, rec := range recs {
 			rv := textutil.NewTermVector(textutil.ContentTokens(rec))
@@ -245,7 +246,7 @@ func (m *Mediator) Answer(query string, k int) ([]Answer, AnswerStats) {
 // attribute semantics are preserved — this is where virtual integration
 // genuinely shines. Predicates share the internal/query DSL the search
 // surface speaks, so the same []Predicate drives either backend.
-func (m *Mediator) StructuredQuery(domain string, preds []query.Predicate, k int) []Answer {
+func (m *Mediator) StructuredQuery(ctx context.Context, domain string, preds []query.Predicate, k int) []Answer {
 	var answers []Answer
 	for _, src := range m.Sources {
 		if src.Schema.Domain != domain {
@@ -255,7 +256,7 @@ func (m *Mediator) StructuredQuery(domain string, preds []query.Predicate, k int
 		if len(b) == 0 {
 			continue
 		}
-		for _, rec := range m.submit(src, b) {
+		for _, rec := range m.submit(ctx, src, b) {
 			answers = append(answers, Answer{Site: src.Form.Site, Record: rec, Score: 1})
 		}
 	}
@@ -269,14 +270,14 @@ func (m *Mediator) StructuredQuery(domain string, preds []query.Predicate, k int
 // submit issues one live form submission (GET or POST — the mediator
 // is not limited to GET the way the surfacer is, §3.2) and extracts
 // result records as the text of repeated list items.
-func (m *Mediator) submit(src *Source, b form.Binding) []string {
+func (m *Mediator) submit(ctx context.Context, src *Source, b form.Binding) []string {
 	m.Requests++
 	var page *webx.Page
 	var err error
 	if src.Form.Method == "get" {
-		page, err = m.Fetch.Get(src.Form.SubmitURL(b))
+		page, err = m.Fetch.GetCtx(ctx, src.Form.SubmitURL(b))
 	} else {
-		page, err = m.Fetch.Post(src.Form.Action.String(), src.Form.PostBody(b))
+		page, err = m.Fetch.PostCtx(ctx, src.Form.Action.String(), src.Form.PostBody(b))
 	}
 	if err != nil || page.Status != 200 {
 		return nil

@@ -1,6 +1,7 @@
 package virtual
 
 import (
+	"context"
 	"net/url"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func mediatorOver(t *testing.T, cfg webgen.WorldConfig) (*webgen.Web, *Mediator)
 	fetch := webx.NewFetcher(web)
 	m := NewMediator(fetch)
 	for _, site := range web.Sites() {
-		page, err := fetch.Get(site.FormURL())
+		page, err := fetch.GetCtx(context.Background(), site.FormURL())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func TestReformulateBindsValues(t *testing.T) {
 
 func TestAnswerLiveQuery(t *testing.T) {
 	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 200})
-	answers, st := m.Answer("used ford cars", 10)
+	answers, st := m.Answer(context.Background(), "used ford cars", 10)
 	if st.Unroutable || st.Submitted == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -147,7 +148,7 @@ func TestAnswerFortuitousQueryFails(t *testing.T) {
 	// The §3.2 example: the mediator understands the faculty form
 	// (department → bios) but cannot route an award query into it.
 	_, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 1, RowsPerSite: 400})
-	answers, st := m.Answer("sigmod innovations award professor", 10)
+	answers, st := m.Answer(context.Background(), "sigmod innovations award professor", 10)
 	// "professor" routes to the faculty domain, but the award tokens
 	// bind to nothing: the source is skipped, zero answers come back.
 	if len(answers) != 0 {
@@ -162,7 +163,7 @@ func TestAnswerCountsRequests(t *testing.T) {
 	web, m := mediatorOver(t, webgen.WorldConfig{Seed: 3, SitesPerDom: 3, RowsPerSite: 100})
 	web.ResetCounts()
 	m.Requests = 0
-	_, st := m.Answer("homes in seattle", 10)
+	_, st := m.Answer(context.Background(), "homes in seattle", 10)
 	if m.Requests != st.Submitted {
 		t.Errorf("request meter %d != submitted %d", m.Requests, st.Submitted)
 	}
@@ -181,7 +182,7 @@ func TestStructuredQueryVertical(t *testing.T) {
 			break
 		}
 	}
-	answers := m.StructuredQuery("usedcars", []query.Predicate{query.Eq("make", mk)}, 50)
+	answers := m.StructuredQuery(context.Background(), "usedcars", []query.Predicate{query.Eq("make", mk)}, 50)
 	if len(answers) == 0 {
 		t.Fatalf("structured query for make=%s found nothing", mk)
 	}
@@ -233,7 +234,7 @@ func TestMediatorQueriesPOSTSites(t *testing.T) {
 	web.AddSite(post)
 	fetch := webx.NewFetcher(web)
 	m := NewMediator(fetch)
-	page, err := fetch.Get(post.FormURL())
+	page, err := fetch.GetCtx(context.Background(), post.FormURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestMediatorQueriesPOSTSites(t *testing.T) {
 		t.Fatal(err)
 	}
 	topic := post.Table.DistinctStrings("topic")[0]
-	answers, st := m.Answer("public records about "+topic, 10)
+	answers, st := m.Answer(context.Background(), "public records about "+topic, 10)
 	if st.Submitted == 0 || len(answers) == 0 {
 		t.Fatalf("POST mediation failed: stats=%+v answers=%d", st, len(answers))
 	}

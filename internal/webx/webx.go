@@ -114,11 +114,6 @@ func (f *Fetcher) GetCtx(ctx context.Context, u string) (*Page, error) {
 	return f.do(req, u, cancel)
 }
 
-// Get is GetCtx with a background context.
-func (f *Fetcher) Get(u string) (*Page, error) {
-	return f.GetCtx(context.Background(), u)
-}
-
 // PostCtx submits a form body under ctx and parses the response; the
 // mediator's path to POST forms (the surfacer never calls this).
 func (f *Fetcher) PostCtx(ctx context.Context, u, body string) (*Page, error) {
@@ -130,11 +125,6 @@ func (f *Fetcher) PostCtx(ctx context.Context, u, body string) (*Page, error) {
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	return f.do(req, u, cancel)
-}
-
-// Post is PostCtx with a background context.
-func (f *Fetcher) Post(u, body string) (*Page, error) {
-	return f.PostCtx(context.Background(), u, body)
 }
 
 // Crawler walks the link graph breadth-first.
@@ -152,8 +142,10 @@ type Crawler struct {
 }
 
 // Crawl BFS-walks from the seeds and returns fetched pages in crawl
-// order. Duplicate URLs are fetched once; fetch errors skip the URL.
-func (c *Crawler) Crawl(seeds ...string) []*Page {
+// order. Duplicate URLs are fetched once; fetch errors skip the URL. A
+// canceled ctx stops the walk at the next fetch and returns the pages
+// crawled so far.
+func (c *Crawler) Crawl(ctx context.Context, seeds ...string) []*Page {
 	type qItem struct{ u string }
 	var (
 		queue   []qItem
@@ -168,6 +160,9 @@ func (c *Crawler) Crawl(seeds ...string) []*Page {
 		}
 	}
 	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			break
+		}
 		if c.MaxPages > 0 && len(pages) >= c.MaxPages {
 			break
 		}
@@ -177,7 +172,7 @@ func (c *Crawler) Crawl(seeds ...string) []*Page {
 		if c.PerHostCap > 0 && perHost[host] >= c.PerHostCap {
 			continue
 		}
-		page, err := c.Fetcher.Get(item.u)
+		page, err := c.Fetcher.GetCtx(ctx, item.u)
 		if err != nil {
 			continue
 		}

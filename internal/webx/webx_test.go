@@ -1,6 +1,7 @@
 package webx
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestFetcherGetParses(t *testing.T) {
 	web := testWorld(t)
 	f := NewFetcher(web)
 	site := web.Sites()[0]
-	p, err := f.Get(site.FormURL())
+	p, err := f.GetCtx(context.Background(), site.FormURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestFetcherGetParses(t *testing.T) {
 func TestFetcherGet404IsPageNotError(t *testing.T) {
 	web := testWorld(t)
 	f := NewFetcher(web)
-	p, err := f.Get("http://nosuch.example/")
+	p, err := f.GetCtx(context.Background(), "http://nosuch.example/")
 	if err != nil {
 		t.Fatalf("404 should not be a transport error: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestFetcherGet404IsPageNotError(t *testing.T) {
 func TestCrawlerReachesAllSitesFromHub(t *testing.T) {
 	web := testWorld(t)
 	c := &Crawler{Fetcher: NewFetcher(web)}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	pages := c.Crawl(context.Background(), "http://"+webgen.HubHost+"/")
 	hosts := map[string]bool{}
 	for _, p := range pages {
 		hosts[hostOf(p.URL)] = true
@@ -68,7 +69,7 @@ func TestCrawlerReachesAllSitesFromHub(t *testing.T) {
 func TestCrawlerSkipsQueryURLsByDefault(t *testing.T) {
 	web := testWorld(t)
 	c := &Crawler{Fetcher: NewFetcher(web)}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	pages := c.Crawl(context.Background(), "http://"+webgen.HubHost+"/")
 	for _, p := range pages {
 		if strings.Contains(p.URL, "?") {
 			t.Fatalf("pre-surfacing crawl fetched query URL %s", p.URL)
@@ -77,7 +78,7 @@ func TestCrawlerSkipsQueryURLsByDefault(t *testing.T) {
 	// With FollowQuery it must reach record pages linked from homepages.
 	c2 := &Crawler{Fetcher: NewFetcher(web), FollowQuery: true}
 	sawRecord := false
-	for _, p := range c2.Crawl("http://" + webgen.HubHost + "/") {
+	for _, p := range c2.Crawl(context.Background(), "http://"+webgen.HubHost+"/") {
 		if strings.Contains(p.URL, "/record?id=") {
 			sawRecord = true
 			break
@@ -91,7 +92,7 @@ func TestCrawlerSkipsQueryURLsByDefault(t *testing.T) {
 func TestCrawlerMaxPages(t *testing.T) {
 	web := testWorld(t)
 	c := &Crawler{Fetcher: NewFetcher(web), MaxPages: 3}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	pages := c.Crawl(context.Background(), "http://"+webgen.HubHost+"/")
 	if len(pages) > 3 {
 		t.Errorf("MaxPages violated: %d", len(pages))
 	}
@@ -100,7 +101,7 @@ func TestCrawlerMaxPages(t *testing.T) {
 func TestCrawlerPerHostCap(t *testing.T) {
 	web := testWorld(t)
 	c := &Crawler{Fetcher: NewFetcher(web), PerHostCap: 1, FollowQuery: true}
-	pages := c.Crawl("http://" + webgen.HubHost + "/")
+	pages := c.Crawl(context.Background(), "http://"+webgen.HubHost+"/")
 	perHost := map[string]int{}
 	for _, p := range pages {
 		perHost[hostOf(p.URL)]++
@@ -116,7 +117,7 @@ func TestCrawlerDedupes(t *testing.T) {
 	web := testWorld(t)
 	c := &Crawler{Fetcher: NewFetcher(web)}
 	seed := web.Sites()[0].HomeURL()
-	pages := c.Crawl(seed, seed, seed)
+	pages := c.Crawl(context.Background(), seed, seed, seed)
 	seen := map[string]int{}
 	for _, p := range pages {
 		seen[p.URL]++
@@ -139,7 +140,7 @@ func TestPostFetch(t *testing.T) {
 		}
 	}
 	topic := post.Table.DistinctStrings("topic")[0]
-	p, err := f.Post("http://"+post.Spec.Host+"/results", "topic="+topic)
+	p, err := f.PostCtx(context.Background(), "http://"+post.Spec.Host+"/results", "topic="+topic)
 	if err != nil {
 		t.Fatal(err)
 	}
