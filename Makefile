@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: verify fmt vet build test bench fuzz lint deepvet staticcheck govulncheck examples load chaos
+.PHONY: verify fmt vet build test bench fuzz lint deepvet staticcheck govulncheck examples load chaos bulk ingest-full
 
 # verify = the CI `test` job: gofmt, vet, build, race-enabled tests.
 verify: fmt vet build test
@@ -47,6 +47,22 @@ bench:
 # measures a live server instead).
 load:
 	$(GO) run ./cmd/loadgen -sites 1 -rows 120 -c 4 -duration 3s -filtered 0.25 -min-hit-ratio 0.5 -out BENCH_load.json
+
+# bulk = the CI ingest-ladder gate at its 100k rung: generate a
+# 100k-record world (internal/bulkgen) and run the memory-bounded
+# spill-to-disk snapshot build, gating on throughput and peak heap and
+# writing BENCH_ingest.json. `make ingest-full` is the 1M-row rung —
+# minutes of wall clock, so it never runs in CI; the peak-heap ceiling
+# is what makes it interesting: 10x the docs must not mean 10x the
+# memory.
+BULK_DIR ?= /tmp/deepweb-bulk
+bulk:
+	$(GO) run ./cmd/deepcrawl -bulk 100000 -out $(BULK_DIR) \
+		-ingestout BENCH_ingest.json -min-docs-per-sec 2000 -max-peak-mb 1024
+
+ingest-full:
+	$(GO) run ./cmd/deepcrawl -bulk 1000000 -out $(BULK_DIR) \
+		-ingestout BENCH_ingest.json -min-docs-per-sec 2000 -max-peak-mb 2048
 
 # examples = the CI examples-smoke job: every worked example must
 # build and run against the current API.

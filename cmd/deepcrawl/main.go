@@ -23,11 +23,19 @@
 // retries and classifies; the report gains a per-site failure table,
 // and the exit code is non-zero when any site failed permanently.
 //
+// With -bulk N it skips surfacing and streams N generated records
+// (internal/bulkgen) through the ingest pipeline — in RAM, or as a
+// memory-bounded spill-to-disk snapshot build when -out is given —
+// reporting docs/sec and peak heap, with optional CI gates. See
+// bulk.go.
+//
 // Usage:
 //
 //	deepcrawl [-sites N] [-rows N] [-seed N] [-workers N] [-naive] [-post N] [-out DIR]
 //	deepcrawl [world flags] -refresh DIR [-churn N] [-churnseed N] [-out DIR]
 //	deepcrawl [world flags] -chaos [-chaosseed N]
+//	deepcrawl -bulk N [-bulksites N] [-batch N] [-spill N] [-shards N] [-out DIR] \
+//	          [-ingestout BENCH_ingest.json] [-min-docs-per-sec N] [-max-peak-mb N]
 package main
 
 import (
@@ -62,6 +70,14 @@ func main() {
 	hostCap := flag.Int("hostcap", 0, "with -refresh: max requests per host during the refresh pass (0 = uncapped)")
 	chaos := flag.Bool("chaos", false, "inject deterministic per-host faults (flaps, 5xx, 429s, resets, truncation, garbling)")
 	chaosSeed := flag.Int64("chaosseed", 1, "with -chaos: seed of the fault streams")
+	bulk := flag.Int("bulk", 0, "bulk-ingest this many generated records instead of surfacing (0 = off; -out DIR switches to the spill-to-disk snapshot build)")
+	bulkSites := flag.Int("bulksites", 0, "with -bulk: spread records over this many sites (0 = one per vertical)")
+	batch := flag.Int("batch", 0, "with -bulk: documents per ordered-commit batch (0 = default)")
+	spill := flag.Int("spill", 0, "with -bulk -out: flush in-RAM postings to a sorted on-disk run every N docs (0 = default)")
+	bulkShards := flag.Int("shards", 0, "with -bulk -out: index shard count of the built snapshot (0 = default)")
+	ingestOut := flag.String("ingestout", "", "with -bulk: write the ingest report JSON here (\"\" disables)")
+	minDocsPerSec := flag.Float64("min-docs-per-sec", 0, "with -bulk: exit non-zero below this throughput (0 = no gate)")
+	maxPeakMB := flag.Float64("max-peak-mb", 0, "with -bulk: exit non-zero above this peak heap in MB (0 = no gate)")
 	flag.Parse()
 	log.SetFlags(0)
 	// Fail bad sizes loudly at startup — a zero or negative world size
@@ -75,6 +91,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "deepcrawl: -refreshbudget must lie in [0, 1], 0 = full budget (got %v)\n\n", *refreshBudget)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *bulk > 0 {
+		runBulk(*bulk, *bulkSites, *seed, *batch, *spill, *bulkShards, *workers,
+			*out, *ingestOut, *minDocsPerSec, *maxPeakMB)
+		return
 	}
 
 	cfg := core.DefaultConfig()

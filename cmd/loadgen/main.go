@@ -27,12 +27,21 @@
 // ("used ford price<9900"), exercising the filter path end to end in
 // both modes; filter values draw Zipfian from the typed-value ladders.
 //
+// -admission (in-process mode) arms the result cache's second-chance
+// doorkeeper with that many slots (-1 = off, 0 = default sizing), and
+// the report gains the admitted/rejected counters.
+//
+// The JSON artifact also carries a "timeline" array — one entry per
+// elapsed second with that second's request count, errors and
+// p50/p95/p99 — so a run shows warmup, cache fill and steady state
+// over time rather than one end-of-run aggregate.
+//
 // Usage:
 //
 //	loadgen [-target URL | -sites N -rows N [-snapshot DIR]] \
 //	        [-c 8] [-duration 10s] [-zipf 1.1] [-pool 500] [-k 10] \
-//	        [-filtered 0.25] [-cache 4096] [-out BENCH_load.json] \
-//	        [-min-hit-ratio 0.5]
+//	        [-filtered 0.25] [-cache 4096] [-admission -1] \
+//	        [-out BENCH_load.json] [-min-hit-ratio 0.5]
 package main
 
 import (
@@ -97,18 +106,55 @@ type Report struct {
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
 	HitRatio    float64 `json:"hit_ratio"`
+
+	// Doorkeeper counters, present only when -admission armed it
+	// (in-process mode).
+	AdmissionSlots int    `json:"admission_slots,omitempty"`
+	CacheAdmitted  uint64 `json:"cache_admitted,omitempty"`
+	CacheRejected  uint64 `json:"cache_rejected,omitempty"`
+
+	// Timeline is the run second by second: how latency and load moved
+	// through warmup, cache fill and steady state.
+	Timeline []Interval `json:"timeline"`
+}
+
+// Interval is one elapsed second of the run.
+type Interval struct {
+	Second   int     `json:"second"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50      float64 `json:"p50_ms"`
+	P95      float64 `json:"p95_ms"`
+	P99      float64 `json:"p99_ms"`
 }
 
 // workerResult is one worker's private tally, merged after the run so
-// the hot loop shares nothing.
+// the hot loop shares nothing. Latencies live in per-second buckets
+// (index = elapsed second) so the merge can build both the whole-run
+// distribution and the timeline from one record.
 type workerResult struct {
-	latencies []float64 // milliseconds
+	seconds   []secBucket
 	errors    uint64
 	timeouts  uint64
 	http5xx   uint64
 	transport uint64
 	hits      uint64
 	misses    uint64
+}
+
+// secBucket is one worker's view of one elapsed second.
+type secBucket struct {
+	latencies []float64 // milliseconds
+	errors    uint64
+}
+
+// bucket returns the bucket for elapsed second sec, growing the slice
+// so every earlier (possibly idle) second exists too.
+func (r *workerResult) bucket(sec int) *secBucket {
+	for len(r.seconds) <= sec {
+		r.seconds = append(r.seconds, secBucket{})
+	}
+	return &r.seconds[sec]
 }
 
 // statusErr carries a non-200 HTTP status as an error, so the merge
@@ -140,6 +186,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "in-process mode: surfacing workers")
 	snapshot := flag.String("snapshot", "", "in-process mode: warm-start from a snapshot directory")
 	cacheCap := flag.Int("cache", 4096, "in-process mode: result cache capacity (0 disables)")
+	admission := flag.Int("admission", -1, "in-process mode: arm the cache's second-chance doorkeeper with this many slots (-1 off, 0 default sizing)")
 
 	conc := flag.Int("c", 8, "concurrent load workers")
 	duration := flag.Duration("duration", 10*time.Second, "how long to fire queries")
@@ -175,11 +222,20 @@ func main() {
 		Mode: "inprocess", Concurrency: *conc, DurationSec: duration.Seconds(),
 		Zipf: *zipf, PoolSize: *poolSize, FilteredFrac: *filtered, K: *k,
 	}
+	var eng *engine.Engine // in-process mode only; nil over HTTP
 	if *target != "" {
 		rep.Mode, rep.Target = "http", *target
 		fire = httpFirer(*target, *k)
 	} else {
 		e := buildEngine(*snapshot, *seed, *sites, *rows, *workers, *cacheCap)
+		if *admission >= 0 && *cacheCap > 0 {
+			e.EnableCacheAdmission(*admission)
+			rep.AdmissionSlots = *admission
+			if rep.AdmissionSlots == 0 {
+				rep.AdmissionSlots = 8 * *cacheCap // rescache's default sizing
+			}
+		}
+		eng = e
 		fire = func(_ int, sampler *workload.Sampler) (time.Duration, bool, error) {
 			// Same split the /v1 handler does: in-query DSL tokens become
 			// structured predicates, the rest ranks as keywords.
@@ -193,7 +249,8 @@ func main() {
 	log.Printf("loadgen: %s mode, %d workers, %v, pool %d, zipf %.2f, filtered %.2f",
 		rep.Mode, *conc, *duration, *poolSize, *zipf, *filtered)
 	results := make([]workerResult, *conc)
-	deadline := time.Now().Add(*duration)
+	runStart := time.Now()
+	deadline := runStart.Add(*duration)
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
@@ -204,8 +261,12 @@ func main() {
 			res := &results[w]
 			for time.Now().Before(deadline) {
 				elapsed, cached, err := fire(w, sampler)
-				res.latencies = append(res.latencies, float64(elapsed)/float64(time.Millisecond))
+				// Bucket by completion second: a request straddling a
+				// boundary counts where its latency was observed.
+				b := res.bucket(int(time.Since(runStart) / time.Second))
+				b.latencies = append(b.latencies, float64(elapsed)/float64(time.Millisecond))
 				if err != nil {
+					b.errors++
 					res.tally(err)
 					continue
 				}
@@ -220,14 +281,34 @@ func main() {
 	wg.Wait()
 
 	var all []float64
+	var perSec []secBucket
 	for i := range results {
-		all = append(all, results[i].latencies...)
+		for s := range results[i].seconds {
+			b := &results[i].seconds[s]
+			for len(perSec) <= s {
+				perSec = append(perSec, secBucket{})
+			}
+			perSec[s].latencies = append(perSec[s].latencies, b.latencies...)
+			perSec[s].errors += b.errors
+			all = append(all, b.latencies...)
+		}
 		rep.Errors += results[i].errors
 		rep.ErrorsTimeout += results[i].timeouts
 		rep.Errors5xx += results[i].http5xx
 		rep.ErrorsTransport += results[i].transport
 		rep.CacheHits += results[i].hits
 		rep.CacheMisses += results[i].misses
+	}
+	for s := range perSec {
+		b := &perSec[s]
+		rep.Timeline = append(rep.Timeline, Interval{
+			Second:   s,
+			Requests: uint64(len(b.latencies)),
+			Errors:   b.errors,
+			P50:      dist.Percentile(b.latencies, 0.50),
+			P95:      dist.Percentile(b.latencies, 0.95),
+			P99:      dist.Percentile(b.latencies, 0.99),
+		})
 	}
 	rep.Requests = uint64(len(all))
 	if rep.Requests > 0 {
@@ -241,6 +322,11 @@ func main() {
 	if served := rep.CacheHits + rep.CacheMisses; served > 0 {
 		rep.HitRatio = float64(rep.CacheHits) / float64(served)
 	}
+	if eng != nil {
+		if st, ok := eng.CacheStats(); ok {
+			rep.CacheAdmitted, rep.CacheRejected = st.Admitted, st.Rejected
+		}
+	}
 
 	fmt.Printf(`
 mode         %s %s
@@ -253,6 +339,10 @@ cache        %d hits / %d misses, hit ratio %.3f
 		rep.ErrorsTimeout, rep.Errors5xx, rep.ErrorsTransport,
 		rep.QPS, rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max,
 		rep.CacheHits, rep.CacheMisses, rep.HitRatio)
+	if rep.AdmissionSlots > 0 {
+		fmt.Printf("admission    %d slots, %d admitted / %d rejected\n",
+			rep.AdmissionSlots, rep.CacheAdmitted, rep.CacheRejected)
+	}
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

@@ -41,7 +41,8 @@ var Analyzer = &analysis.Analyzer{
 // mutators are the index.Index methods that change what a search can
 // observe; each one invalidates every cached result.
 var mutators = map[string]bool{
-	"Add": true, "AddPrepared": true, "Annotate": true, "Delete": true,
+	"Add": true, "AddPrepared": true, "AddPreparedBatch": true,
+	"Annotate": true, "Delete": true,
 	"Compact": true, "ImportDocs": true, "ImportTerms": true,
 }
 

@@ -1,0 +1,113 @@
+package bulkgen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"deepweb/internal/datagen"
+)
+
+// newZipf builds a Zipf sampler over [0,n) with skew s (>1). The head
+// of the vocabulary list is the popular end, matching datagen.zipfIdx.
+// A nil sampler means n<=1: zidx then always returns 0.
+func newZipf(r *rand.Rand, s float64, n int) *rand.Zipf {
+	if n <= 1 {
+		return nil
+	}
+	return rand.NewZipf(r, s, 1, uint64(n-1))
+}
+
+func zidx(z *rand.Zipf) int {
+	if z == nil {
+		return 0
+	}
+	return int(z.Uint64())
+}
+
+// ladder draws a normal value snapped to a step grid and clamped to
+// [min,max] — how real classified columns look: prices cluster around
+// a mean but only ever appear in round increments.
+type ladder struct {
+	mean, sigma float64
+	step        int
+	min, max    int
+}
+
+func (l ladder) draw(r *rand.Rand) int {
+	v := r.NormFloat64()*l.sigma + l.mean
+	n := int(math.Round(v/float64(l.step))) * l.step
+	if n < l.min {
+		n = l.min
+	}
+	if n > l.max {
+		n = l.max
+	}
+	return n
+}
+
+// Long-tail vocabulary, shared by every site in every world: composed
+// syllable words synthesized by index arithmetic (no RNG), so word i is
+// the same string everywhere and corpus-wide document frequencies are
+// meaningful. With ~10k words under a near-1 Zipf exponent, a few are
+// almost stopwords and thousands appear in only a handful of documents
+// even at 10⁶ rows — the df shape BM25 idf is designed around.
+var (
+	tailOnsets = []string{
+		"ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu",
+		"na", "pe", "qui", "ro", "su", "ta", "ve", "wi", "xo", "za",
+		"bre", "cla", "dri", "fle", "gra",
+	}
+	tailMids = []string{
+		"la", "men", "ri", "sto", "ven", "dor", "fin", "gal", "hem", "jin",
+		"kor", "lum", "nar", "pol", "rus", "sel", "tor", "vel", "wen", "zan",
+	}
+	tailEnds = []string{
+		"to", "ce", "dia", "fer", "gon", "hil", "ium", "kel", "lor", "mus",
+		"nex", "per", "ron", "sis", "tal", "ver", "wick", "zen", "by", "dale",
+	}
+)
+
+// tailVocabSize is the number of distinct long-tail words (10,000).
+const tailVocabSize = 25 * 20 * 20
+
+// tailWord returns long-tail word i (mod tailVocabSize), deterministically.
+func tailWord(i int) string {
+	i %= tailVocabSize
+	if i < 0 {
+		i += tailVocabSize
+	}
+	o := i % len(tailOnsets)
+	i /= len(tailOnsets)
+	m := i % len(tailMids)
+	e := i / len(tailMids)
+	return tailOnsets[o] + tailMids[m] + tailEnds[e]
+}
+
+// notes samples free-text phrases: a Zipf-skewed head drawn from the
+// shared datagen.NoteWords list plus a near-flat Zipf over the
+// synthesized long tail.
+type notes struct {
+	r    *rand.Rand
+	head *rand.Zipf
+	tail *rand.Zipf
+}
+
+func newNotes(r *rand.Rand) *notes {
+	return &notes{
+		r:    r,
+		head: newZipf(r, 1.3, len(datagen.NoteWords)),
+		tail: newZipf(r, 1.07, tailVocabSize),
+	}
+}
+
+func (n *notes) phrase(nHead, nTail int) string {
+	parts := make([]string, 0, nHead+nTail)
+	for i := 0; i < nHead; i++ {
+		parts = append(parts, datagen.NoteWords[zidx(n.head)])
+	}
+	for i := 0; i < nTail; i++ {
+		parts = append(parts, tailWord(zidx(n.tail)))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"deepweb/internal/index"
+	"deepweb/internal/store"
+)
+
+// Bulk ingestion: the paths that let a million-document world enter
+// the engine under a bounded memory budget. Two modes share one
+// streaming source abstraction:
+//
+//   - BulkIngest commits batches into a live engine's index through
+//     the same ordered commit point the surfacing pipeline uses —
+//     tokenization parallelized across the engine's Workers, doc ids
+//     assigned in stream order, one table lock per batch instead of
+//     per document.
+//
+//   - BulkBuild never builds an index at all. It streams documents
+//     straight to a snapshot directory: the docs segment through
+//     store.DocsWriter, postings through an in-RAM accumulator that
+//     spills sorted runs to disk every SpillDocs documents and k-way
+//     merges them into the final per-shard segments. Peak memory is
+//     the spill window plus one shard's merged postings — independent
+//     of corpus size. The merged output is byte-identical to
+//     Save after BulkIngest of the same stream **except** for the
+//     term→shard assignment: the in-RAM index shards by a per-process
+//     random maphash seed, the disk build by stable FNV-1a. Scores,
+//     ids and tie order are still bit-identical after Load, because
+//     scoring merges across shards (property-tested).
+//
+// Sharding by FNV-1a also makes the build reproducible: the same
+// stream yields byte-identical snapshot directories regardless of
+// worker count, batch size, or spill budget.
+
+// BulkSource streams documents in a deterministic order. Next returns
+// the next document, its annotations (nil for none), and ok=false when
+// the stream is exhausted. bulkgen.Source satisfies this.
+type BulkSource interface {
+	Next() (d index.Doc, anns map[string]string, ok bool)
+}
+
+// DefaultBulkBatch is the per-commit batch size bulk ingestion uses
+// when BulkOptions.Batch is zero.
+const DefaultBulkBatch = 4096
+
+// DefaultSpillDocs is the spill window (documents per on-disk run
+// flush) used when BulkBuildOptions.SpillDocs is zero.
+const DefaultSpillDocs = 1 << 16
+
+// BulkOptions configures BulkIngest.
+type BulkOptions struct {
+	// Batch is how many documents are prepared and committed per
+	// ordered commit (default DefaultBulkBatch).
+	Batch int
+}
+
+// BulkBuildOptions configures BulkBuild.
+type BulkBuildOptions struct {
+	// Docs is the exact stream length; the docs segment header needs
+	// it up front. Required.
+	Docs int
+	// Shards is the postings-shard count of the snapshot (default
+	// index.DefaultShards).
+	Shards int
+	// Batch is the tokenization batch size (default DefaultBulkBatch).
+	Batch int
+	// SpillDocs bounds the in-RAM posting accumulator: every SpillDocs
+	// documents, all shards flush sorted runs to disk (default
+	// DefaultSpillDocs). Smaller = less RAM, more runs to merge.
+	SpillDocs int
+	// Workers parallelizes tokenization and the final shard merges
+	// (default 1).
+	Workers int
+}
+
+// BulkStats reports one bulk run.
+type BulkStats struct {
+	Docs       int   // documents ingested (BulkIngest: newly added)
+	Duplicates int   // BulkIngest only: URLs already present, skipped
+	Runs       int   // BulkBuild only: spill-run files written
+	Postings   int64 // term postings produced
+}
+
+// NewEmpty returns a web-less engine over an empty index: the entry
+// point for programmatic ingestion (BulkIngest) and serving without a
+// virtual web. Surfacing, coverage and Refresh need a web — attach one
+// with New or LoadWith instead if you need them.
+func NewEmpty() *Engine { return newEngine() }
+
+// BulkIngest streams src into the live index in batches. Doc ids are
+// assigned in stream order (the ordered commit point, amortized per
+// batch), so the resulting index is bit-identical to adding the same
+// documents one by one. A canceled ctx stops between batches; documents
+// committed before cancellation stay (and the epoch still bumps).
+func (e *Engine) BulkIngest(ctx context.Context, src BulkSource, opts BulkOptions) (BulkStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = DefaultBulkBatch
+	}
+	var stats BulkStats
+	docs := make([]index.Doc, 0, batch)
+	anns := make([]map[string]string, 0, batch)
+	defer e.bumpEpoch()
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		docs, anns = docs[:0], anns[:0]
+		for len(docs) < batch {
+			d, a, ok := src.Next()
+			if !ok {
+				break
+			}
+			docs = append(docs, d)
+			anns = append(anns, a)
+		}
+		if len(docs) == 0 {
+			return stats, nil
+		}
+		ps := prepareAll(e.Workers, docs)
+		ids, added := e.Index.AddPreparedBatch(ps)
+		for i := range ps {
+			if !added[i] {
+				stats.Duplicates++
+				continue
+			}
+			stats.Docs++
+			stats.Postings += int64(len(ps[i].Terms()))
+			if len(anns[i]) > 0 {
+				e.Index.Annotate(ids[i], anns[i])
+			}
+			e.trackDoc(docs[i].URL, ids[i])
+		}
+	}
+}
+
+// prepareAll tokenizes docs on up to workers goroutines, preserving
+// order: ps[i] is always Prepare(docs[i]).
+func prepareAll(workers int, docs []index.Doc) []*index.Prepared {
+	ps := make([]*index.Prepared, len(docs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		for i, d := range docs {
+			ps[i] = index.Prepare(d)
+		}
+		return ps
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				ps[i] = index.Prepare(docs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return ps
+}
+
+// BulkBuild streams src into a snapshot directory at dir without ever
+// holding the corpus in memory; the result Loads exactly like a
+// directory written by Save. opts.Docs must match the stream length —
+// a short or long stream is an error, as is a duplicate URL (bulk
+// sources generate unique URLs by construction; dedup would force
+// keeping all URLs in RAM). On error the partial build's temp files
+// and spill runs are swept; a stale docs/postings segment from an
+// earlier completed build may remain, exactly as an interrupted Save
+// would leave one.
+func BulkBuild(ctx context.Context, src BulkSource, dir string, opts BulkBuildOptions) (BulkStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var stats BulkStats
+	if opts.Docs <= 0 {
+		return stats, fmt.Errorf("engine: bulk build: Docs must be the exact stream length, got %d", opts.Docs)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = index.DefaultShards
+	}
+	spill := opts.SpillDocs
+	if spill <= 0 {
+		spill = DefaultSpillDocs
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = DefaultBulkBatch
+	}
+	if batch > spill {
+		batch = spill
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return stats, err
+	}
+	// Crash hygiene, as in Save: sweep a previous crashed writer's
+	// temp files and a previous crashed build's spill runs.
+	if err := store.CleanTmp(dir); err != nil {
+		return stats, fmt.Errorf("engine: bulk build: %w", err)
+	}
+	if err := store.CleanSpills(dir); err != nil {
+		return stats, fmt.Errorf("engine: bulk build: %w", err)
+	}
+
+	dw, err := store.NewDocsWriter(store.DocsPath(dir), shards, opts.Docs)
+	if err != nil {
+		return stats, fmt.Errorf("engine: bulk build: %w", err)
+	}
+	fail := func(err error) (BulkStats, error) {
+		dw.Abort()
+		store.CleanSpills(dir)
+		return stats, err
+	}
+
+	// Posting accumulator: term → ascending postings, sharded by
+	// stable FNV-1a so every run of the same stream spills and merges
+	// identically.
+	acc := make([]map[string][]index.Posting, shards)
+	for si := range acc {
+		acc[si] = map[string][]index.Posting{}
+	}
+	flushes, window := 0, 0
+	flushRuns := func(docsSoFar int) error {
+		wrote := false
+		for si, m := range acc {
+			if len(m) == 0 {
+				continue
+			}
+			terms := make([]index.TermPostings, 0, len(m))
+			for t, ps := range m {
+				terms = append(terms, index.TermPostings{Term: t, Postings: ps})
+			}
+			sort.Slice(terms, func(i, j int) bool { return terms[i].Term < terms[j].Term })
+			if err := store.WriteSpillRun(dir, flushes, shards, si, docsSoFar, terms); err != nil {
+				return err
+			}
+			stats.Runs++
+			wrote = true
+			acc[si] = map[string][]index.Posting{}
+		}
+		if wrote {
+			flushes++
+		}
+		window = 0
+		return nil
+	}
+
+	seen := make(map[uint64]struct{}, opts.Docs)
+	docID := 0
+	docs := make([]index.Doc, 0, batch)
+	anns := make([]map[string]string, 0, batch)
+	for {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		docs, anns = docs[:0], anns[:0]
+		for len(docs) < batch {
+			d, a, ok := src.Next()
+			if !ok {
+				break
+			}
+			docs = append(docs, d)
+			anns = append(anns, a)
+		}
+		if len(docs) == 0 {
+			break
+		}
+		if docID+len(docs) > opts.Docs {
+			return fail(fmt.Errorf("engine: bulk build: stream longer than the declared %d docs", opts.Docs))
+		}
+		ps := prepareAll(workers, docs)
+		for i, p := range ps {
+			h := fnv64a(docs[i].URL)
+			if _, dup := seen[h]; dup {
+				return fail(fmt.Errorf("engine: bulk build: duplicate (or hash-colliding) URL %q", docs[i].URL))
+			}
+			seen[h] = struct{}{}
+			if err := dw.Add(docs[i], p.DocLen(), anns[i]); err != nil {
+				return fail(fmt.Errorf("engine: bulk build: %w", err))
+			}
+			terms, tfs := p.Terms(), p.TermFreqs()
+			for j, t := range terms {
+				si := int(fnv64a(t) % uint64(shards))
+				acc[si][t] = append(acc[si][t], index.Posting{Doc: int32(docID), TF: tfs[j]})
+			}
+			stats.Postings += int64(len(terms))
+			docID++
+			window++
+			if window >= spill {
+				if err := flushRuns(docID); err != nil {
+					return fail(fmt.Errorf("engine: bulk build: %w", err))
+				}
+			}
+		}
+	}
+	if docID != opts.Docs {
+		return fail(fmt.Errorf("engine: bulk build: stream ended at %d of the declared %d docs", docID, opts.Docs))
+	}
+	if err := flushRuns(docID); err != nil {
+		return fail(fmt.Errorf("engine: bulk build: %w", err))
+	}
+	snapID, err := dw.Close()
+	if err != nil {
+		store.CleanSpills(dir)
+		return stats, fmt.Errorf("engine: bulk build: %w", err)
+	}
+
+	// Merge each shard's sorted runs into its final postings segment.
+	// Within a term, concatenating the runs in flush order yields
+	// ascending doc ids — flushes happen in doc order — so the merged
+	// segment is independent of where the spill boundaries fell.
+	err = forEachShardN(workers, shards, func(si int) error {
+		paths, err := store.SpillRuns(dir, si)
+		if err != nil {
+			return err
+		}
+		runs := make([][]index.TermPostings, 0, len(paths))
+		for _, p := range paths {
+			terms, h, err := store.ReadSpillRun(p)
+			if err != nil {
+				return err
+			}
+			if h.Shards != uint32(shards) || h.ShardID != uint32(si) {
+				return fmt.Errorf("%s: run header (shards=%d id=%d) disagrees with build (shards=%d id=%d): %w",
+					p, h.Shards, h.ShardID, shards, si, store.ErrCorrupt)
+			}
+			runs = append(runs, terms)
+		}
+		return store.WritePostings(store.PostingsPath(dir, si), shards, si, opts.Docs, snapID, mergeRuns(runs))
+	})
+	if err != nil {
+		store.CleanSpills(dir)
+		return stats, fmt.Errorf("engine: bulk build merge: %w", err)
+	}
+	if err := store.CleanSpills(dir); err != nil {
+		return stats, fmt.Errorf("engine: bulk build: %w", err)
+	}
+	// An empty meta segment, exactly as Save writes for an engine with
+	// no refresh signatures: the directory stays Load-complete and
+	// byte-identical to the in-RAM path's output.
+	if err := store.WriteMeta(store.MetaPath(dir), &store.MetaSegment{}); err != nil {
+		return stats, fmt.Errorf("engine: bulk build meta: %w", err)
+	}
+	stats.Docs = docID
+	return stats, nil
+}
+
+// mergeRuns k-way merges per-run sorted term lists into one sorted
+// list, concatenating a term's postings across runs in run (= doc-id)
+// order. Linear scan over run heads: run counts are dozens, not
+// thousands, and the real cost is the postings append.
+func mergeRuns(runs [][]index.TermPostings) []index.TermPostings {
+	heads := make([]int, len(runs))
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]index.TermPostings, 0, total)
+	for {
+		best := ""
+		found := false
+		for ri, r := range runs {
+			if heads[ri] < len(r) {
+				if t := r[heads[ri]].Term; !found || t < best {
+					best, found = t, true
+				}
+			}
+		}
+		if !found {
+			return out
+		}
+		var ps []index.Posting
+		for ri, r := range runs {
+			if heads[ri] < len(r) && r[heads[ri]].Term == best {
+				ps = append(ps, r[heads[ri]].Postings...)
+				heads[ri]++
+			}
+		}
+		out = append(out, index.TermPostings{Term: best, Postings: ps})
+	}
+}
+
+// fnv64a is the stable term→shard hash of the disk build (the in-RAM
+// index uses a per-process maphash seed instead, so its shard layout
+// is deliberately not stable across processes).
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

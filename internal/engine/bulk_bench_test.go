@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"deepweb/internal/bulkgen"
+	"deepweb/internal/memwatch"
+)
+
+// The ingest scaling ladder: docs/sec and peak heap at 10k and 100k
+// documents (1M behind INGEST_FULL=1, mirrored by `make ingest-full` —
+// minutes, not benchstat material). BenchmarkBulkIngest measures the
+// in-RAM batched path; BenchmarkBulkBuild the spill-to-disk snapshot
+// build whose peak memory must stay flat as the corpus grows.
+
+func ladderRungs(b *testing.B) []int {
+	rungs := []int{10_000, 100_000}
+	if os.Getenv("INGEST_FULL") != "" {
+		rungs = append(rungs, 1_000_000)
+	}
+	return rungs
+}
+
+func benchWorld(b *testing.B, docs int) *bulkgen.World {
+	b.Helper()
+	w, err := bulkgen.NewWorld(bulkgen.Spec{Seed: 42, Docs: docs, Sites: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func reportLadder(b *testing.B, docs int, elapsed time.Duration, peak uint64) {
+	b.ReportMetric(float64(docs)/elapsed.Seconds(), "docs/s")
+	b.ReportMetric(memwatch.PeakMB(peak), "peakMB")
+}
+
+func BenchmarkBulkIngest(b *testing.B) {
+	for _, docs := range ladderRungs(b) {
+		b.Run(fmt.Sprintf("docs=%dk", docs/1000), func(b *testing.B) {
+			world := benchWorld(b, docs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := NewEmpty()
+				e.Workers = 8
+				w := memwatch.Start(5 * time.Millisecond)
+				start := time.Now()
+				stats, err := e.BulkIngest(context.Background(), world.Source(8), BulkOptions{})
+				elapsed := time.Since(start)
+				peak := w.Stop()
+				if err != nil || stats.Docs != docs {
+					b.Fatalf("ingest: %v (stats %+v)", err, stats)
+				}
+				reportLadder(b, docs, elapsed, peak)
+			}
+		})
+	}
+}
+
+func BenchmarkBulkBuild(b *testing.B) {
+	for _, docs := range ladderRungs(b) {
+		b.Run(fmt.Sprintf("docs=%dk", docs/1000), func(b *testing.B) {
+			world := benchWorld(b, docs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dir := b.TempDir()
+				w := memwatch.Start(5 * time.Millisecond)
+				start := time.Now()
+				stats, err := BulkBuild(context.Background(), world.Source(8), dir, BulkBuildOptions{
+					Docs:    docs,
+					Workers: 8,
+				})
+				elapsed := time.Since(start)
+				peak := w.Stop()
+				if err != nil || stats.Docs != docs {
+					b.Fatalf("build: %v (stats %+v)", err, stats)
+				}
+				reportLadder(b, docs, elapsed, peak)
+			}
+		})
+	}
+}

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deepweb/internal/bulkgen"
+	"deepweb/internal/index"
+	"deepweb/internal/query"
+)
+
+func bulkWorld(t *testing.T, seed int64, docs, sites int) *bulkgen.World {
+	t.Helper()
+	w, err := bulkgen.NewWorld(bulkgen.Spec{Seed: seed, Docs: docs, Sites: sites, BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+var bulkQueries = []SearchRequest{
+	{Query: "ford focus", K: 10},
+	{Query: "condition excellent austin", K: 25},
+	{Query: "engineer seattle", K: 10, Offset: 5},
+	{Query: "environmental quality notice", K: 10},
+	{Query: "house portland", K: 10, Annotated: true},
+	{Query: "used toyota", K: 10, Filters: []query.Predicate{query.Eq("make", "toyota")}},
+	{Query: "italian", K: 15},
+}
+
+// requireSameResponses asserts bit-identical serving behavior: same
+// totals, ids, float score bits and tie order on every probe.
+func requireSameResponses(t *testing.T, label string, a, b *Engine) {
+	t.Helper()
+	for _, req := range bulkQueries {
+		ra, err := a.Search(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: search A %q: %v", label, req.Query, err)
+		}
+		rb, err := b.Search(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: search B %q: %v", label, req.Query, err)
+		}
+		if ra.Total != rb.Total {
+			t.Fatalf("%s: query %q: totals %d vs %d", label, req.Query, ra.Total, rb.Total)
+		}
+		if len(ra.Results) != len(rb.Results) {
+			t.Fatalf("%s: query %q: %d vs %d results", label, req.Query, len(ra.Results), len(rb.Results))
+		}
+		for i := range ra.Results {
+			x, y := ra.Results[i], rb.Results[i]
+			if x.DocID != y.DocID || x.URL != y.URL ||
+				math.Float64bits(x.Score) != math.Float64bits(y.Score) {
+				t.Fatalf("%s: query %q: result %d differs:\n  A: %+v\n  B: %+v", label, req.Query, i, x, y)
+			}
+		}
+	}
+}
+
+// The tentpole property: a spill-to-disk build Loads into an engine
+// that serves bit-identically to BulkIngest-then-Save of the same
+// stream, across shard counts — run under -race in CI.
+func TestBulkBuildEquivalentToRAMBuild(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			world := bulkWorld(t, 99, 3000, 5)
+
+			ramDir := t.TempDir()
+			ram := NewEmpty()
+			ram.Index = index.NewSharded(shards)
+			ram.Workers = 4
+			stats, err := ram.BulkIngest(context.Background(), world.Source(4), BulkOptions{Batch: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Docs != 3000 || stats.Duplicates != 0 {
+				t.Fatalf("ingest stats: %+v", stats)
+			}
+			if err := ram.Save(ramDir); err != nil {
+				t.Fatal(err)
+			}
+
+			spillDir := t.TempDir()
+			bstats, err := BulkBuild(context.Background(), world.Source(4), spillDir, BulkBuildOptions{
+				Docs: 3000, Shards: shards, Batch: 300, SpillDocs: 500, Workers: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bstats.Docs != 3000 || bstats.Runs == 0 {
+				t.Fatalf("build stats: %+v (expected multiple spill flushes)", bstats)
+			}
+			if runsLeft(t, spillDir) != 0 {
+				t.Fatal("spill runs leaked after merge")
+			}
+
+			// The docs segments are byte-identical (same stream, same
+			// id order, same snapshot id). Postings segments differ in
+			// shard layout by design: maphash (per-process) vs FNV-1a.
+			da, _ := os.ReadFile(filepath.Join(ramDir, "docs.seg"))
+			db, _ := os.ReadFile(filepath.Join(spillDir, "docs.seg"))
+			if !bytes.Equal(da, db) {
+				t.Fatalf("docs segments differ (%d vs %d bytes)", len(da), len(db))
+			}
+
+			ea, err := Load(ramDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := Load(spillDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ea.Generation != eb.Generation {
+				t.Fatalf("generations differ: %08x vs %08x", ea.Generation, eb.Generation)
+			}
+			requireSameResponses(t, "load", ea, eb)
+
+			// Live RAM engine vs loaded spill build agree too.
+			requireSameResponses(t, "live-vs-spill", ram, eb)
+		})
+	}
+}
+
+// Refresh-then-compact after a bulk load: delete the same URL set on
+// both arms, compact, and the normal forms must still serve
+// bit-identically.
+func TestBulkBuildCompactEquivalence(t *testing.T) {
+	world := bulkWorld(t, 7, 2000, 4)
+
+	ram := NewEmpty()
+	ram.Workers = 4
+	if _, err := ram.BulkIngest(context.Background(), world.Source(2), BulkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	spillDir := t.TempDir()
+	if _, err := BulkBuild(context.Background(), world.Source(8), spillDir, BulkBuildOptions{
+		Docs: 2000, SpillDocs: 300, Workers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete every 7th document on both engines — ids coincide because
+	// both arms assigned them in stream order. (Compact below bumps
+	// both epochs before any search runs.)
+	docs, _, _ := ram.Index.ExportDocs()
+	for i := 0; i < len(docs); i += 7 {
+		if !ram.Index.Delete(i) || !loaded.Index.Delete(i) {
+			t.Fatalf("delete doc %d failed", i)
+		}
+	}
+	if got, want := ram.Compact(), loaded.Compact(); got != want {
+		t.Fatalf("compact reclaimed %d vs %d", got, want)
+	}
+	requireSameResponses(t, "post-compact", ram, loaded)
+}
+
+// Reproducibility: the snapshot directory is byte-identical however
+// the build was parallelized or budgeted.
+func TestBulkBuildByteIdenticalAcrossBudgets(t *testing.T) {
+	world := bulkWorld(t, 1234, 1500, 3)
+	configs := []BulkBuildOptions{
+		{Docs: 1500, Shards: 4, Batch: 64, SpillDocs: 200, Workers: 1},
+		{Docs: 1500, Shards: 4, Batch: 1024, SpillDocs: 999, Workers: 4},
+		{Docs: 1500, Shards: 4, Batch: 512, SpillDocs: 1 << 20, Workers: 16},
+	}
+	var ref map[string][]byte
+	for ci, opts := range configs {
+		dir := t.TempDir()
+		if _, err := BulkBuild(context.Background(), world.Source(opts.Workers), dir, opts); err != nil {
+			t.Fatal(err)
+		}
+		files := map[string][]byte{}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range ents {
+			b, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[ent.Name()] = b
+		}
+		if ref == nil {
+			ref = files
+			continue
+		}
+		if len(files) != len(ref) {
+			t.Fatalf("config %d: %d files, ref has %d", ci, len(files), len(ref))
+		}
+		for name, b := range files {
+			if !bytes.Equal(b, ref[name]) {
+				t.Fatalf("config %d: %s differs from reference build", ci, name)
+			}
+		}
+	}
+}
+
+func TestBulkBuildStreamLengthMismatch(t *testing.T) {
+	world := bulkWorld(t, 5, 100, 2)
+	dir := t.TempDir()
+	if _, err := BulkBuild(context.Background(), world.Source(1), dir, BulkBuildOptions{Docs: 150}); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	if _, err := BulkBuild(context.Background(), world.Source(1), dir, BulkBuildOptions{Docs: 40}); err == nil {
+		t.Fatal("long stream accepted")
+	}
+	if runsLeft(t, dir) != 0 {
+		t.Fatal("failed builds leaked spill runs")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "docs.seg")); !os.IsNotExist(err) {
+		t.Fatal("failed build left a docs segment")
+	}
+}
+
+func TestBulkIngestCancel(t *testing.T) {
+	world := bulkWorld(t, 6, 5000, 2)
+	src := world.Source(2)
+	defer src.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := NewEmpty()
+	if _, err := e.BulkIngest(ctx, src, BulkOptions{Batch: 100}); err == nil {
+		t.Fatal("canceled ingest reported success")
+	}
+}
+
+func TestBulkIngestDeduplicates(t *testing.T) {
+	world := bulkWorld(t, 8, 200, 1)
+	e := NewEmpty()
+	if _, err := e.BulkIngest(context.Background(), world.Source(1), BulkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.BulkIngest(context.Background(), world.Source(1), BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Docs != 0 || stats.Duplicates != 200 {
+		t.Fatalf("re-ingest stats: %+v", stats)
+	}
+}
+
+func runsLeft(t *testing.T, dir string) int {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "spill-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(paths)
+}

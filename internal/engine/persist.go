@@ -34,10 +34,14 @@ func (e *Engine) Save(dir string) error {
 		return err
 	}
 	// Crash hygiene: a writer that died mid-Save leaves *.tmp files
-	// behind (segments are written to a temp name, then renamed).
-	// Sweep them before writing so they cannot accumulate or be
+	// behind (segments are written to a temp name, then renamed), and
+	// a bulk build that died mid-merge leaves spill-*.run files.
+	// Sweep both before writing so they cannot accumulate or be
 	// mistaken for live data.
 	if err := store.CleanTmp(dir); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if err := store.CleanSpills(dir); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
 	ix := e.Index
@@ -155,7 +159,12 @@ func LoadWith(web *webgen.Web, dir string) (*Engine, error) {
 // forEachShard runs fn over every shard id on up to e.Workers
 // goroutines and returns the first error (by shard order).
 func (e *Engine) forEachShard(shards int, fn func(si int) error) error {
-	workers := e.Workers
+	return forEachShardN(e.Workers, shards, fn)
+}
+
+// forEachShardN is the engine-independent form, shared with the bulk
+// build (which has no Engine while it streams to disk).
+func forEachShardN(workers, shards int, fn func(si int) error) error {
 	if workers < 1 {
 		workers = 1
 	}

@@ -66,15 +66,15 @@ func (s *stagedSink) Annotate(docID int, anns map[string]string) {
 //
 //deepvet:epoch -- only called from Engine.commitOutcome, which bumps after every commit
 func (s *stagedSink) commit() []int {
+	ids, added := s.global.AddPreparedBatch(s.docs)
 	var indexed []int
-	for i, p := range s.docs {
-		id, added := s.global.AddPrepared(p)
-		if !added {
+	for i := range s.docs {
+		if !added[i] {
 			continue
 		}
-		indexed = append(indexed, id)
+		indexed = append(indexed, ids[i])
 		if len(s.anns[i]) > 0 {
-			s.global.Annotate(id, s.anns[i])
+			s.global.Annotate(ids[i], s.anns[i])
 		}
 	}
 	s.docs, s.anns, s.ids = nil, nil, nil

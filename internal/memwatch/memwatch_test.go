@@ -1,0 +1,28 @@
+package memwatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWatchObservesAllocations(t *testing.T) {
+	w := Start(time.Millisecond)
+	// The final sample at Stop sees the live ballast even if the
+	// ticker never fired.
+	ballast := make([]byte, 8<<20)
+	for i := range ballast {
+		ballast[i] = byte(i)
+	}
+	peak := w.Stop()
+	if peak < 8<<20 {
+		t.Fatalf("peak %d below the 8MB ballast", peak)
+	}
+	_ = ballast[0]
+	if mb := PeakMB(16 << 20); mb != 16 {
+		t.Fatalf("PeakMB(16MiB) = %v", mb)
+	}
+	// Stop is idempotent.
+	if again := w.Stop(); again < peak {
+		t.Fatalf("second Stop lowered the peak: %d < %d", again, peak)
+	}
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"deepweb/internal/index"
+)
+
+// Spill runs are the intermediate artifacts of the memory-bounded bulk
+// build: each time the in-RAM posting accumulator reaches its budget,
+// every non-empty shard flushes one sorted run file
+//
+//	spill-f<flush>-s<shard>.run
+//
+// framed exactly like a postings segment (same header, same
+// varint/delta body, KindSpill) so the existing validation applies.
+// Terms within a run are sorted; doc ids within a term are ascending.
+// Because runs are flushed in doc-id order, concatenating a term's
+// postings across a shard's runs in flush order yields the ascending
+// posting list of the final segment — the property that makes the
+// k-way merge independent of where the flush boundaries fell.
+//
+// Runs never outlive a successful build (the merge deletes them) and
+// are never live data, so CleanSpills sweeps leftovers from crashed
+// builds the way CleanTmp sweeps *.tmp.
+
+const (
+	spillPrefix = "spill-"
+	spillSuffix = ".run"
+
+	// maxSpillFlushes bounds the flush counter so zero-padded run
+	// names stay lexically ordered by flush index.
+	maxSpillFlushes = 10000
+)
+
+// SpillRunPath returns the run file path for one (flush, shard) pair.
+func SpillRunPath(dir string, flush, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("spill-f%04d-s%04d.run", flush, shard))
+}
+
+// WriteSpillRun writes one sorted run for one shard, atomically.
+// docCount is the number of documents emitted so far — the bound run
+// readers check doc ids against.
+func WriteSpillRun(dir string, flush, shards, shardID, docCount int, terms []index.TermPostings) error {
+	if flush < 0 || flush >= maxSpillFlushes {
+		return fmt.Errorf("store: spill flush %d outside [0, %d)", flush, maxSpillFlushes)
+	}
+	var e enc
+	encodePostingsBody(&e, terms)
+	return writeSegment(SpillRunPath(dir, flush, shardID), Header{
+		Version:  Version,
+		Kind:     KindSpill,
+		Shards:   uint32(shards),
+		ShardID:  uint32(shardID),
+		DocCount: uint64(docCount),
+	}, e.b)
+}
+
+// ReadSpillRun reads and validates one run file.
+func ReadSpillRun(path string) ([]index.TermPostings, Header, error) {
+	h, body, err := readSegment(path, KindSpill)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	d := &dec{b: body, path: path}
+	terms := decodePostingsBody(d, h.DocCount)
+	if err := d.done(); err != nil {
+		return nil, Header{}, err
+	}
+	return terms, h, nil
+}
+
+// SpillRuns returns shard si's run files under dir in ascending flush
+// order. A missing directory yields no runs, not an error.
+func SpillRuns(dir string, shard int) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("spill-f*-s%04d.run", shard)))
+	if err != nil {
+		return nil, err
+	}
+	// Zero-padded flush indexes make lexical order flush order.
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// CleanSpills removes stale spill-run files from a snapshot directory —
+// the droppings of a bulk build that crashed before its merge. Like
+// CleanTmp, a missing dir is not an error, and readers never open run
+// files as live data.
+func CleanSpills(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, spillPrefix) || !strings.HasSuffix(name, spillSuffix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deepweb/internal/index"
+)
+
+func streamCorpus() *DocsSegment {
+	return &DocsSegment{
+		Docs: []index.Doc{
+			{URL: "http://a.example/1", Title: "first doc", Text: "ford focus excellent", Source: "a.example"},
+			{URL: "http://a.example/2", Title: "second", Text: "toyota camry", Source: "a.example"},
+			{URL: "http://b.example/1", Title: "", Text: "no title here", Source: "b.example"},
+			{URL: "http://b.example/2", Title: "fourth", Text: "annotated", Source: "b.example"},
+		},
+		Lens: []int{5, 4, 3, 2},
+		Anns: map[int]map[string]string{
+			0: {"make": "ford", "model": "focus"},
+			3: {"city": "austin", "zip": "78701", "price": "9500"},
+		},
+	}
+}
+
+// The contract everything else leans on: the streamed segment is
+// byte-for-byte the segment WriteDocs produces, snapshot id included.
+func TestDocsWriterByteIdenticalToWriteDocs(t *testing.T) {
+	dir := t.TempDir()
+	seg := streamCorpus()
+
+	ref := filepath.Join(dir, "ref.seg")
+	wantID, err := WriteDocs(ref, 4, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := filepath.Join(dir, "got.seg")
+	w, err := NewDocsWriter(got, 4, len(seg.Docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range seg.Docs {
+		if err := w.Add(d, seg.Lens[id], seg.Anns[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotID, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != wantID {
+		t.Fatalf("snapshot id: streamed %08x, WriteDocs %08x", gotID, wantID)
+	}
+
+	a, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("segments differ: WriteDocs %d bytes, streamed %d bytes", len(a), len(b))
+	}
+
+	// And it round-trips through the normal reader.
+	rt, h, err := ReadDocs(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SnapID != wantID || int(h.DocCount) != len(seg.Docs) || h.Shards != 4 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	if len(rt.Docs) != len(seg.Docs) || len(rt.Anns) != len(seg.Anns) || len(rt.Dead) != 0 {
+		t.Fatalf("roundtrip mismatch: %d docs, %d anns, %d dead", len(rt.Docs), len(rt.Anns), len(rt.Dead))
+	}
+}
+
+func TestDocsWriterCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "docs.seg")
+
+	w, err := NewDocsWriter(path, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(index.Doc{URL: "u1"}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Close(); err == nil {
+		t.Fatal("Close accepted 1 of 3 declared docs")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed close left a segment under the final name")
+	}
+	if leftovers(t, dir) != 0 {
+		t.Fatal("failed close leaked temp files")
+	}
+
+	// Overflow is refused at Add time.
+	w2, err := NewDocsWriter(path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Add(index.Doc{URL: "u1"}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Add(index.Doc{URL: "u2"}, 1, nil); err == nil {
+		t.Fatal("Add accepted more docs than declared")
+	}
+	w2.Abort()
+	if leftovers(t, dir) != 0 {
+		t.Fatal("abort leaked temp files")
+	}
+}
+
+func leftovers(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSpillRunRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	terms := []index.TermPostings{
+		{Term: "alpha", Postings: []index.Posting{{Doc: 0, TF: 2}, {Doc: 5, TF: 1}}},
+		{Term: "beta", Postings: []index.Posting{{Doc: 3, TF: 7}}},
+	}
+	if err := WriteSpillRun(dir, 2, 4, 1, 10, terms); err != nil {
+		t.Fatal(err)
+	}
+	path := SpillRunPath(dir, 2, 1)
+	got, h, err := ReadSpillRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != KindSpill || h.Shards != 4 || h.ShardID != 1 || h.DocCount != 10 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	if len(got) != 2 || got[0].Term != "alpha" || got[1].Term != "beta" ||
+		len(got[0].Postings) != 2 || got[0].Postings[1] != (index.Posting{Doc: 5, TF: 1}) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+
+	// A run is not a postings segment: the kind check must refuse it.
+	if _, _, err := ReadPostings(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadPostings accepted a spill run: %v", err)
+	}
+
+	// Doc ids beyond the declared count are corruption.
+	if err := WriteSpillRun(dir, 3, 4, 0, 2, terms); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSpillRun(SpillRunPath(dir, 3, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-bounds doc id not rejected: %v", err)
+	}
+}
+
+func TestSpillRunsOrderAndCleanSpills(t *testing.T) {
+	dir := t.TempDir()
+	terms := []index.TermPostings{{Term: "t", Postings: []index.Posting{{Doc: 0, TF: 1}}}}
+	for _, flush := range []int{7, 0, 12} {
+		if err := WriteSpillRun(dir, flush, 2, 1, 1, terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSpillRun(dir, 0, 2, 0, 1, terms); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := SpillRuns(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{SpillRunPath(dir, 0, 1), SpillRunPath(dir, 7, 1), SpillRunPath(dir, 12, 1)}
+	if len(runs) != 3 || runs[0] != want[0] || runs[1] != want[1] || runs[2] != want[2] {
+		t.Fatalf("runs out of order: %v", runs)
+	}
+
+	// CleanSpills sweeps runs but leaves real segments alone.
+	if _, err := WriteDocs(DocsPath(dir), 1, &DocsSegment{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CleanSpills(dir); err != nil {
+		t.Fatal(err)
+	}
+	left, err := SpillRuns(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("CleanSpills left %v", left)
+	}
+	if _, err := os.Stat(DocsPath(dir)); err != nil {
+		t.Fatalf("CleanSpills removed the docs segment: %v", err)
+	}
+	if err := CleanSpills(filepath.Join(dir, "missing")); err != nil {
+		t.Fatalf("missing dir should not error: %v", err)
+	}
+
+	if err := WriteSpillRun(dir, maxSpillFlushes, 1, 0, 1, terms); err == nil {
+		t.Fatal("flush index past the padded range accepted")
+	}
+}

@@ -6,7 +6,8 @@
 # `make bench`: the zero-allocation text pipeline, index add/search
 # (with and without tombstones), the snapshot save/load vs cold-surface
 # startup pair, the incremental refresh pass, the serving tier's
-# cached/uncached/parallel Search triple, and end-to-end surfacing.
+# cached/uncached/parallel Search triple, end-to-end surfacing, and
+# the bulk-ingest ladder (10k/100k rungs; 1M only under INGEST_FULL=1).
 # CI runs it on the PR head and on the merge base and diffs the two
 # with benchstat, so keep the set additive — a benchmark that exists
 # only on one side simply shows up as new/deleted in the table.
@@ -20,3 +21,5 @@ go test -run '^$' -bench 'Snapshot|ColdSurface|Refresh' -benchmem -benchtime 3x 
   ./internal/engine
 go test -run '^$' -bench 'BenchmarkSearch(Uncached|Cached|Parallel)$' -benchmem -benchtime 500x -count "$count" .
 go test -run '^$' -bench BenchmarkSurfaceAll -benchmem -benchtime 1x -count "$count" .
+go test -run '^$' -bench 'BenchmarkBulk(Ingest|Build)' -benchmem -benchtime 1x -count "$count" \
+  ./internal/engine
